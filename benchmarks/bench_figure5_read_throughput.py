@@ -1,0 +1,51 @@
+"""Paper Figure 5: Read Transaction Throughput.
+
+Same experiment with read-only transactions: no logger involvement, so
+"the transaction manager and the message system are the only components
+that receive substantial load".  Shape assertions:
+
+- "a single transaction management thread can accommodate more than 1
+  client but not more than 2": the 1-thread curve flattens at 2 pairs;
+- with enough threads the experiment stops being TranMan-bound and
+  scales further before CPU saturation;
+- 20 threads == 5 threads;
+- read throughput is far above update throughput at every point.
+"""
+
+from repro.bench.figures import figure4, figure5
+from repro.bench.report import render_throughput
+
+from benchmarks.conftest import emit
+
+PAPER_NOTE = """paper: y-axis 22-36 TPS; 52% scaling 1->2 pairs and 12%
+2->3 for reads vs 32%/4% for updates; 1-thread curve flat beyond 2."""
+
+
+def test_figure5(once):
+    curves = once(figure5, duration_ms=6_000.0)
+    emit(render_throughput(
+        "Figure 5  Read throughput (TPS) vs app/server pairs", curves)
+        + "\n" + PAPER_NOTE)
+
+    t1 = curves["1 thread"].tps()
+    t5 = curves["5 threads"].tps()
+    t20 = curves["20 threads"].tps()
+
+    # One thread accommodates more than 1 client...
+    assert t1[1] > t1[0] * 1.15
+    # ...but not more than 2: flat from there on.
+    assert t1[2] < t1[1] * 1.1
+    assert t1[3] < t1[1] * 1.1
+    # More threads lift the ceiling ("it is not operating-system-bound,
+    # because the same test with 5 and 20 threads yields better results").
+    assert t5[2] > t1[2] * 1.3
+    # 20 == 5 within noise.
+    for a, b in zip(t20, t5):
+        assert abs(a - b) / max(a, b) < 0.15
+    # Reads scale better 1->2 than updates do (52% vs 32% in the paper).
+    update_t5 = figure4(pairs_range=(1, 2), duration_ms=6_000.0)["5 threads"]
+    read_gain = t5[1] / t5[0]
+    update_gain = update_t5.tps()[1] / update_t5.tps()[0]
+    assert read_gain > update_gain * 0.95
+    # And read TPS dominates update TPS outright.
+    assert t5[1] > update_t5.tps()[1]

@@ -1,0 +1,26 @@
+"""Paper §4.1: the Camelot RPC latency breakdown.
+
+The paper measures 1000 RPCs (28.5 ms each) and dissects them into the
+NetMsgServer RPC (19.1), extra ComMan-NetMsgServer IPC (3.0), and ComMan
+CPU at both sites (6.4) — "miraculously, there is no extra or missing
+time".  This bench runs the same experiment against the simulated path
+and checks the same accounting.
+"""
+
+import pytest
+
+from repro.bench.figures import rpc_breakdown
+from repro.bench.report import render_rpc_breakdown
+
+from benchmarks.conftest import emit
+
+
+def test_rpc_breakdown(once):
+    result = once(rpc_breakdown, calls=200)
+    emit(render_rpc_breakdown(result))
+    # The component accounting sums to the paper's 28.5 ms.
+    assert result.accounted_ms == pytest.approx(28.5)
+    # The measured mean lands on the accounting (jitter adds ~1-2 ms,
+    # just as the paper's own measured-vs-static gap).
+    assert 28.0 <= result.measured_mean_ms <= 33.0
+    assert result.measured_n == 200

@@ -1,0 +1,57 @@
+"""Harness health: the simulator itself must stay fast.
+
+Not a paper figure — a guard that keeps the experiment suite usable.
+The full Figure 2-5 regeneration runs hundreds of simulated seconds;
+if kernel event dispatch or the transaction path regresses badly, every
+experiment silently turns into a coffee break.  This bench pins
+per-transaction host cost to an order of magnitude.
+"""
+
+import time
+
+from repro import CamelotSystem, SystemConfig
+from repro.bench.workloads import serial_minimal_txns
+from repro.sim.kernel import Kernel
+
+from benchmarks.conftest import emit
+
+
+def test_kernel_event_throughput(benchmark):
+    def spin():
+        kernel = Kernel()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 50_000:
+                kernel.schedule(1.0, tick)
+
+        kernel.schedule(0.0, tick)
+        kernel.run()
+        return count
+
+    events = benchmark.pedantic(spin, rounds=1, iterations=1)
+    assert events == 50_000
+
+
+def test_transaction_host_cost(benchmark):
+    def run_txns():
+        system = CamelotSystem(SystemConfig(sites={"a": 1, "b": 1},
+                                            keep_trace_events=False))
+        app = system.application("a")
+        committed = system.run_process(
+            serial_minimal_txns(app, system.default_services(), 50),
+            timeout_ms=600_000.0)
+        return committed
+
+    start = time.perf_counter()
+    committed = benchmark.pedantic(run_txns, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    assert committed == 50
+    per_txn_ms = elapsed * 1000.0 / 50
+    emit(f"host cost: {per_txn_ms:.2f} ms of real time per simulated "
+         "distributed transaction")
+    # Order-of-magnitude guard: a distributed transaction should cost
+    # well under 50 ms of host time (typically ~2 ms).
+    assert per_txn_ms < 50.0

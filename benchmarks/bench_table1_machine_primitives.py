@@ -1,0 +1,28 @@
+"""Paper Table 1: Benchmarks of PC-RT and Mach.
+
+These are the raw machine/OS numbers the whole cost model is calibrated
+from.  In the reproduction they are configuration, not measurement —
+this bench renders them and asserts the calibration identities the
+paper's analysis depends on.
+"""
+
+from repro.analysis.primitives import table1_rows
+from repro.bench.figures import table1_report
+from repro.bench.report import render_primitive_table
+
+from benchmarks.conftest import emit
+
+
+def test_table1(once):
+    rows = once(table1_report)
+    emit(render_primitive_table("Table 1  Benchmarks of PC-RT and Mach",
+                                rows))
+    by_name = {r.name: r for r in rows}
+    # The identities the paper's arguments rest on:
+    assert by_name["Local IPC, 8-byte in-line"].value == 1.5
+    assert by_name["Remote IPC, 8-byte in-line"].value == 19.1
+    assert by_name["Raw disk write, 1 track"].value == 26.8
+    # Context switch and kernel call are sub-millisecond; IPC dominates.
+    assert by_name["Context switch, swtch()"].value < 1000.0
+    assert (by_name["Local IPC, 8-byte in-line"].value * 1000
+            > by_name["Kernel call, getpid()"].value)

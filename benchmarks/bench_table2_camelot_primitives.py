@@ -1,0 +1,34 @@
+"""Paper Table 2: Latency of Camelot Primitives.
+
+Configured values rendered next to live measurements of the same
+primitives inside the simulator — the measured column must track the
+configured one (within queueing/jitter), or the protocol-level results
+would be built on sand.
+"""
+
+from repro.analysis.primitives import table2_rows
+from repro.bench.figures import table2_measured
+from repro.bench.report import render_primitive_table, render_table
+
+from benchmarks.conftest import emit
+
+
+def test_table2(once):
+    measured = once(table2_measured, trials=40)
+    emit(render_primitive_table(
+        "Table 2  Latency of Camelot primitives (configured)",
+        table2_rows()))
+    emit(render_table(
+        "Table 2  configured vs measured in the simulator",
+        ["PRIMITIVE", "CONFIGURED ms", "MEASURED ms"],
+        [(m.name, f"{m.configured:6.2f}", f"{m.measured:6.2f}")
+         for m in measured]))
+    by_name = {m.name: m for m in measured}
+    ipc = by_name["Local in-line IPC to server"]
+    assert abs(ipc.measured - ipc.configured) < 1.5
+    force = by_name["Log force"]
+    assert abs(force.measured - force.configured) < 2.0
+    dgram = by_name["Datagram"]
+    assert abs(dgram.measured - dgram.configured) < 4.0
+    rpc = by_name["Remote RPC"]
+    assert abs(rpc.measured - rpc.configured) < 4.0

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*.py`` regenerates one table or figure from the paper:
+run ``pytest benchmarks/ --benchmark-only -s`` to see them rendered in
+the paper's format alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a rendered table, bracketed for readability under -s."""
+    print("\n" + text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Simulated experiments are deterministic, so repeated rounds only
+    re-measure host CPU; one round keeps the suite fast while still
+    recording wall time per figure.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

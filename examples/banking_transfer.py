@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Banking: distributed transfers with aborts and crash recovery.
+
+The motivating workload for transactional facilities: move money
+between accounts on different sites, atomically.  Demonstrates:
+
+- a committed cross-site transfer,
+- an application-initiated abort (insufficient funds) that undoes the
+  partial debit everywhere,
+- a site crash *after* commit: the committed balance survives recovery,
+- a site crash *during* a transfer: atomicity holds — either both
+  account updates survive or neither does.
+
+Run:  python examples/banking_transfer.py
+"""
+
+from repro import CamelotSystem, Outcome, SystemConfig
+from repro.bench.workloads import transfer
+
+
+def balances(system):
+    east = system.server("server0@east")
+    west = system.server("server0@west")
+    return east.peek("alice"), west.peek("bob")
+
+
+def main() -> None:
+    system = CamelotSystem(
+        SystemConfig(sites={"east": 1, "west": 1}),
+        initial_objects={"server0@east": {"alice": 100},
+                         "server0@west": {"bob": 20}})
+    app = system.application("east")
+
+    # ------------------------------------------------ 1. a good transfer
+    def good_transfer():
+        tid = yield from app.begin()
+        ok = yield from transfer(app, tid, "server0@east", "alice",
+                                 "server0@west", "bob", 30)
+        assert ok
+        outcome = yield from app.commit(tid)
+        return outcome
+
+    outcome = system.run_process(good_transfer())
+    print(f"transfer of 30: {outcome.value};  alice/bob = {balances(system)}")
+    assert balances(system) == (70, 50)
+
+    # ------------------------------------- 2. insufficient funds: abort
+    def overdraft():
+        tid = yield from app.begin()
+        ok = yield from transfer(app, tid, "server0@east", "alice",
+                                 "server0@west", "bob", 500)
+        if not ok:
+            yield from app.abort(tid)
+            return Outcome.ABORTED
+        return (yield from app.commit(tid))
+
+    outcome = system.run_process(overdraft())
+    system.run_for(1_000.0)
+    print(f"transfer of 500: {outcome.value}; alice/bob = {balances(system)}")
+    assert balances(system) == (70, 50)
+
+    # -------------------------------- 3. crash after commit: durability
+    system.crash_site("west")
+    system.restart_site("west")
+    system.run_for(2_000.0)
+    print(f"after west crash+recovery:       alice/bob = {balances(system)}")
+    assert balances(system) == (70, 50)
+
+    # ------------------------- 4. crash mid-transfer: atomicity holds
+    state = {}
+
+    def doomed_transfer():
+        tid = yield from app.begin()
+        try:
+            yield from transfer(app, tid, "server0@east", "alice",
+                                "server0@west", "bob", 10)
+            outcome = yield from app.commit(tid)
+            state["outcome"] = outcome
+        except BaseException:
+            state["outcome"] = None
+
+    system.spawn(doomed_transfer(), name="doomed")
+    system.failures.crash_at(system.kernel.now + 95.0, "west")
+    system.failures.restart_at(system.kernel.now + 5_000.0, "west")
+    system.run_for(60_000.0)
+    alice, bob = balances(system)
+    print(f"crash mid-transfer ->            alice/bob = {(alice, bob)} "
+          f"(outcome: {state['outcome']})")
+    # Atomic: either the transfer fully applied or fully didn't.
+    assert (alice, bob) in ((70, 50), (60, 60)), (alice, bob)
+    assert alice + bob == 120
+    print("atomicity held: no money created or destroyed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Nested transactions: a travel booking with partial failure.
+
+The classic Moss-model scenario the paper's nesting support exists for:
+book a flight and a hotel inside one top-level transaction, each
+attempt in its own subtransaction.  The first hotel is full — that
+subtransaction aborts *alone*, undoing only its own updates, and a
+second hotel is tried.  The top-level commit then makes the whole
+itinerary permanent atomically.
+
+Run:  python examples/nested_travel.py
+"""
+
+from repro import CamelotSystem, Outcome, SystemConfig
+
+
+def main() -> None:
+    system = CamelotSystem(
+        SystemConfig(sites={"airline": 1, "hotels": 1}),
+        initial_objects={
+            "server0@airline": {"CM402_seats": 3},
+            "server0@hotels": {"grand_rooms": 0, "plaza_rooms": 5},
+        })
+    app = system.application("airline")
+
+    def book_trip():
+        trip = yield from app.begin()
+        print(f"trip transaction {trip}")
+
+        # --- subtransaction 1: the flight -------------------------
+        flight = yield from app.begin(parent=trip)
+        seats = yield from app.read(flight, "server0@airline",
+                                    "CM402_seats")
+        yield from app.write(flight, "server0@airline", "CM402_seats",
+                             seats - 1)
+        yield from app.write(flight, "server0@airline", "CM402_passenger",
+                             "duchamp")
+        yield from app.commit(flight)
+        print(f"  flight booked (subtransaction {flight})")
+
+        # --- subtransaction 2: first-choice hotel, which is full ---
+        grand = yield from app.begin(parent=trip)
+        rooms = yield from app.read(grand, "server0@hotels", "grand_rooms")
+        if rooms and rooms > 0:
+            yield from app.write(grand, "server0@hotels", "grand_rooms",
+                                 rooms - 1)
+            yield from app.commit(grand)
+        else:
+            # Abort ONLY this subtransaction: the flight booking above
+            # survives, untouched.
+            yield from app.abort(grand)
+            print(f"  Grand Hotel full -> aborted {grand} "
+                  "(flight unaffected)")
+
+        # --- subtransaction 3: the fallback hotel -------------------
+        plaza = yield from app.begin(parent=trip)
+        rooms = yield from app.read(plaza, "server0@hotels", "plaza_rooms")
+        yield from app.write(plaza, "server0@hotels", "plaza_rooms",
+                             rooms - 1)
+        yield from app.write(plaza, "server0@hotels", "plaza_guest",
+                             "duchamp")
+        yield from app.commit(plaza)
+        print(f"  Plaza booked (subtransaction {plaza})")
+
+        # --- top-level commit: the whole trip becomes permanent -----
+        outcome = yield from app.commit(trip)
+        return outcome
+
+    outcome = system.run_process(book_trip())
+    assert outcome is Outcome.COMMITTED
+    system.run_for(1_000.0)
+
+    airline = system.server("server0@airline")
+    hotels = system.server("server0@hotels")
+    print("\nfinal state:")
+    print(f"  CM402 seats left : {airline.peek('CM402_seats')} (was 3)")
+    print(f"  CM402 passenger  : {airline.peek('CM402_passenger')}")
+    print(f"  Grand rooms      : {hotels.peek('grand_rooms')} (never taken)")
+    print(f"  Plaza rooms      : {hotels.peek('plaza_rooms')} (was 5)")
+    print(f"  Plaza guest      : {hotels.peek('plaza_guest')}")
+    assert airline.peek("CM402_seats") == 2
+    assert hotels.peek("grand_rooms") == 0
+    assert hotels.peek("plaza_rooms") == 4
+
+
+if __name__ == "__main__":
+    main()

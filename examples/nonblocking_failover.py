@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Non-blocking commit: surviving a coordinator crash.
+
+Runs the same 3-site transaction twice, crashing the coordinator at the
+worst possible moment each time:
+
+- with **two-phase commit**, the prepared subordinates are *blocked*:
+  locks held, inquiries unanswered, until the coordinator recovers;
+- with the **non-blocking protocol**, a timed-out subordinate becomes a
+  coordinator (paper §3.3, change 2), polls the survivors, completes an
+  abort or commit quorum, and everyone moves on.
+
+Run:  python examples/nonblocking_failover.py
+"""
+
+from repro import CamelotSystem, ProtocolKind, SystemConfig
+
+
+def run_scenario(protocol: ProtocolKind, crash_at: float) -> None:
+    system = CamelotSystem(SystemConfig(sites={"a": 1, "b": 1, "c": 1}))
+    app = system.application("a")
+    state = {}
+
+    def workload():
+        tid = yield from app.begin(protocol=protocol)
+        state["tid"] = str(tid)
+        for service in system.default_services():
+            yield from app.write(tid, service, "x", 1)
+        try:
+            outcome = yield from app.commit(tid, protocol=protocol)
+            state["outcome"] = outcome.value
+        except BaseException:
+            state["outcome"] = "lost with the coordinator"
+
+    system.spawn(workload(), name="txn")
+    system.failures.crash_at(crash_at, "a")
+    system.run_for(30_000.0)
+
+    tid = state["tid"]
+    print(f"\n=== {protocol.value}, coordinator crashed at "
+          f"t={crash_at:.0f} ms ===")
+    for site in ("b", "c"):
+        tomb = system.tranman(site).tombstones.get(tid)
+        locks = system.server(f"server0@{site}").locks.locked_objects()
+        status = tomb.value if tomb else "IN DOUBT (blocked)"
+        lock_note = f", locks held on {locks}" if locks else ", locks free"
+        print(f"  site {site}: {status}{lock_note}")
+    inquiries = system.tracer.count("2pc.blocked_inquiry")
+    takeovers = system.tracer.count("tranman.takeover")
+    if inquiries:
+        print(f"  {inquiries} unanswered blocked-subordinate inquiries")
+    if takeovers:
+        print(f"  {takeovers} subordinate takeover(s) resolved the fate")
+
+
+def main() -> None:
+    # Crash inside 2PC's window of vulnerability: subs prepared, no one
+    # knows the outcome.  (Timings per the RT-PC calibration.)
+    run_scenario(ProtocolKind.TWO_PHASE, crash_at=138.0)
+    # Same instant for the non-blocking protocol: survivors abort.
+    run_scenario(ProtocolKind.NON_BLOCKING, crash_at=138.0)
+    # Crash after the replication phase: survivors finish the COMMIT.
+    run_scenario(ProtocolKind.NON_BLOCKING, crash_at=195.0)
+    print("\nThe non-blocking protocol pays ~1.5x the latency (4 log "
+          "forces + 5 messages vs 2 + 3)\nfor exactly this: no single "
+          "failure can strand anyone holding locks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: one distributed transaction, start to finish.
+
+Builds a two-site Camelot deployment, runs a transaction that updates
+data on both sites, commits it with two-phase commit, and shows the
+paper's headline accounting: two log forces and three protocol
+datagrams on the critical path.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CamelotSystem, Outcome, SystemConfig
+
+
+def main() -> None:
+    system = CamelotSystem(SystemConfig(sites={"paris": 1, "tokyo": 1}))
+    app = system.application("paris")
+
+    def workload():
+        # Begin: get a transaction identifier from the TranMan.
+        tid = yield from app.begin()
+        print(f"begun       {tid}")
+
+        # Operations: synchronous calls to data servers, local and
+        # remote; every operation explicitly lists the TID.
+        yield from app.write(tid, "server0@paris", "balance", 100)
+        yield from app.write(tid, "server0@tokyo", "balance", 250)
+        print(f"updated     both sites at t={system.kernel.now:.1f} ms")
+
+        # Commit: the TranMan runs presumed-abort 2PC with the paper's
+        # delayed-commit optimization.
+        outcome = yield from app.commit(tid)
+        print(f"outcome     {outcome.value} at t={system.kernel.now:.1f} ms")
+        return outcome
+
+    before = system.tracer.snapshot()
+    outcome = system.run_process(workload())
+    delta = system.tracer.delta(before, system.tracer.snapshot())
+
+    assert outcome is Outcome.COMMITTED
+    print(f"paris  sees balance = {system.server('server0@paris').peek('balance')}")
+    print(f"tokyo  sees balance = {system.server('server0@tokyo').peek('balance')}")
+    print(f"log forces on the critical path : {delta.get('diskman.force', 0)}"
+          " (paper: 2 — subordinate prepare + coordinator commit)")
+    print(f"protocol datagrams              : {delta.get('tranman.datagram', 0)}"
+          " (paper: 3 — prepare, vote, commit)")
+    lat = app.latencies_ms()[0]
+    print(f"transaction latency             : {lat:.1f} ms"
+          " (paper measured 110 ms for this shape)")
+
+
+if __name__ == "__main__":
+    main()

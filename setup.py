@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The build environment has setuptools but no ``wheel``, so PEP 517
+editable installs fail; this shim enables
+``pip install -e . --no-use-pep517 --no-build-isolation``.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro: a reproduction of Duchamp's *Analysis of Transaction
+Management Performance* (SOSP 1989) — the Camelot transaction manager —
+on a calibrated discrete-event substrate.
+
+Quick start::
+
+    from repro import CamelotSystem, SystemConfig
+
+    system = CamelotSystem(SystemConfig(sites={"a": 1, "b": 1}))
+    app = system.application("a")
+
+    def workload():
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@b", "x", 42)
+        outcome = yield from app.commit(tid)
+        return outcome
+
+    print(system.run_process(workload()))   # Outcome.COMMITTED
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured comparison of every table and figure.
+"""
+
+from repro.config import (
+    CostModel,
+    SystemConfig,
+    rt_pc_profile,
+    vax_mp_profile,
+)
+from repro.core.outcomes import Outcome, ProtocolKind, TwoPhaseVariant, Vote
+from repro.core.quorum import QuorumSpec
+from repro.core.tid import TID
+from repro.servers.application import Application, TransactionAborted
+from repro.system import CamelotSystem, SiteRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "CamelotSystem",
+    "CostModel",
+    "Outcome",
+    "ProtocolKind",
+    "QuorumSpec",
+    "SiteRuntime",
+    "SystemConfig",
+    "TID",
+    "TransactionAborted",
+    "TwoPhaseVariant",
+    "Vote",
+    "__version__",
+    "rt_pc_profile",
+    "vax_mp_profile",
+]

@@ -1,0 +1,87 @@
+"""The paper's Tables 1 and 2 as data.
+
+Table 1 benchmarks the raw machine + Mach (IBM PC-RT model 125, Mach
+2.0); Table 2 lists the latencies of the Camelot-level primitives that
+dominate protocol paths.  Both are derived from the active
+:class:`~repro.config.CostModel`, so sweeping a cost parameter sweeps
+the printed tables and the static analysis coherently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import CostModel
+
+
+@dataclass(frozen=True)
+class PrimitiveRow:
+    """One table row: a named primitive and its cost."""
+
+    name: str
+    value: float
+    unit: str
+    note: str = ""
+
+    def formatted(self) -> str:
+        if self.unit == "us":
+            return f"{self.value:8.1f} us"
+        return f"{self.value:8.2f} ms"
+
+
+def table1_rows(cost: Optional[CostModel] = None) -> List[PrimitiveRow]:
+    """Benchmarks of PC-RT and Mach (paper Table 1)."""
+    c = cost or CostModel()
+    return [
+        PrimitiveRow("Procedure call, 32-byte arg", c.procedure_call_us, "us"),
+        PrimitiveRow("Data copy, bcopy()", c.bcopy_base_us, "us",
+                     note=f"+ {c.bcopy_per_kb_us:.0f} us/KB"),
+        PrimitiveRow("Kernel call, getpid()", c.kernel_call_us, "us"),
+        PrimitiveRow("Copy data in/out of kernel", c.kernel_copy_base_us,
+                     "us", note="+ copy time"),
+        PrimitiveRow("Local IPC, 8-byte in-line", c.local_ipc, "ms"),
+        PrimitiveRow("Remote IPC, 8-byte in-line", c.netmsg_rpc, "ms"),
+        PrimitiveRow("Context switch, swtch()", c.context_switch_us, "us"),
+        PrimitiveRow("Raw disk write, 1 track", c.raw_disk_track_write, "ms"),
+    ]
+
+
+def table2_rows(cost: Optional[CostModel] = None) -> List[PrimitiveRow]:
+    """Latency of Camelot primitives (paper Table 2)."""
+    c = cost or CostModel()
+    return [
+        PrimitiveRow("Local in-line IPC", c.local_ipc, "ms"),
+        PrimitiveRow("Local in-line IPC to server", 2 * c.local_ipc, "ms",
+                     note="request + reply"),
+        PrimitiveRow("Local out-of-line IPC", c.local_outofline_ipc, "ms"),
+        PrimitiveRow("Local one-way inline message", c.local_oneway_message,
+                     "ms"),
+        PrimitiveRow("Remote RPC", c.netmsg_rpc + 2 * c.local_ipc
+                     + 2 * c.comman_cpu_per_call + c.get_lock, "ms",
+                     note="28.5 TM path + 0.5 locking"),
+        PrimitiveRow("Log force", c.log_force, "ms"),
+        PrimitiveRow("Datagram", c.datagram, "ms"),
+        PrimitiveRow("Get lock", c.get_lock, "ms"),
+        PrimitiveRow("Drop lock", c.drop_lock, "ms"),
+        PrimitiveRow("Data access: read", c.data_access_read, "ms",
+                     note="negligible"),
+        PrimitiveRow("Data access: write", c.data_access_write, "ms",
+                     note="negligible"),
+    ]
+
+
+def rpc_breakdown_rows(cost: Optional[CostModel] = None) -> List[PrimitiveRow]:
+    """The §4.1 dissection of the 28.5 ms Camelot RPC."""
+    c = cost or CostModel()
+    nms = c.netmsg_rpc
+    extra_ipc = 2 * c.local_ipc
+    comman = 2 * c.comman_cpu_per_call
+    return [
+        PrimitiveRow("NetMsgServer-to-NetMsgServer RPC", nms, "ms"),
+        PrimitiveRow("Extra IPC, ComMan <-> NetMsgServer", extra_ipc, "ms",
+                     note="2 x local IPC"),
+        PrimitiveRow("ComMan CPU (both sites)", comman, "ms",
+                     note=f"{c.comman_cpu_per_call:.1f} ms per site"),
+        PrimitiveRow("Total Camelot RPC", nms + extra_ipc + comman, "ms"),
+    ]

@@ -1,0 +1,126 @@
+"""Analytic throughput model for the Figure 4/5 experiments.
+
+The paper's throughput discussion is qualitative ("the logger is the
+bottleneck", "a single thread can accommodate more than 1 client but
+not more than 2").  This model makes it quantitative, in the same
+spirit as the latency static analysis: a transaction's demand on each
+serial resource is summed from primitives, and the system throughput at
+``n`` closed-loop pairs is the minimum of the per-resource ceilings and
+the offered load:
+
+    TPS(n) = min( n / L,                    offered load (closed loop)
+                  T * 1000 / thread_occ,    TranMan thread-pool ceiling
+                  C * 1000 / cpu_demand,    CPU ceiling
+                  1000 / disk_occ * B )     log-device ceiling (update)
+
+where L is the per-transaction latency, T the TranMan thread count, C
+the CPU count, and B the group-commit batching factor (1 when off).
+
+The model deliberately ignores queueing curvature near saturation — it
+predicts the plateaus and their ordering, which is what Figures 4-5
+assert, and lands within a few tens of percent of the simulation (see
+tests/test_throughput_model.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import CostModel, vax_mp_profile
+
+# Message/request counts for one minimal local transaction, from the
+# system's actual interaction pattern (begin, join, commit + vote round,
+# plus the operation itself).
+TRANMAN_REQUESTS_PER_TXN = 3      # begin, join, commit handler
+SERVER_REQUESTS_PER_TXN = 3      # operation, prepare, drop_locks
+IPC_LEGS_PER_TXN = 8             # begin rt, op rt, commit rt, vote rt
+
+
+@dataclass(frozen=True)
+class ThroughputPrediction:
+    offered_tps: float
+    thread_ceiling_tps: float
+    cpu_ceiling_tps: float
+    disk_ceiling_tps: float
+
+    @property
+    def tps(self) -> float:
+        return min(self.offered_tps, self.thread_ceiling_tps,
+                   self.cpu_ceiling_tps, self.disk_ceiling_tps)
+
+    @property
+    def bottleneck(self) -> str:
+        ceilings = {
+            "offered": self.offered_tps,
+            "tranman_threads": self.thread_ceiling_tps,
+            "cpu": self.cpu_ceiling_tps,
+            "logger": self.disk_ceiling_tps,
+        }
+        return min(ceilings, key=ceilings.get)
+
+
+def _per_txn_costs(cost: CostModel, op: str, group_commit: bool):
+    """(latency_ms, tranman_thread_occupancy_ms, cpu_demand_ms,
+    disk_occupancy_ms) for one minimal local transaction."""
+    ctx = cost.context_switch_us / 1000.0
+    tranman_cpu = cost.scaled_cpu(cost.tranman_service_cpu) + ctx
+    server_cpu = cost.scaled_cpu(cost.server_service_cpu) + ctx
+    logger_cpu = cost.scaled_cpu(cost.logger_service_cpu) + ctx
+
+    ipc = IPC_LEGS_PER_TXN * cost.local_ipc
+    cpu_demand = (TRANMAN_REQUESTS_PER_TXN * tranman_cpu
+                  + SERVER_REQUESTS_PER_TXN * server_cpu)
+    latency = ipc + cpu_demand + cost.get_lock + cost.drop_lock
+
+    disk_occ = 0.0
+    if op == "write":
+        force = cost.log_force + logger_cpu
+        latency += force
+        cpu_demand += logger_cpu
+        disk_occ = cost.log_force
+        if group_commit:
+            # Half the batching window adds latency on average.
+            latency += cost.log_batch_timer / 2.0
+
+    # The commit handler occupies its TranMan thread through the local
+    # vote round and (for updates) the log force.
+    thread_occ = (TRANMAN_REQUESTS_PER_TXN * tranman_cpu
+                  + 2 * cost.local_ipc)  # vote round trip
+    if op == "write":
+        thread_occ += cost.log_force + logger_cpu
+        if group_commit:
+            thread_occ += cost.log_batch_timer / 2.0
+    return latency, thread_occ, cpu_demand, disk_occ
+
+
+def predict(pairs: int, threads: int, group_commit: bool, op: str = "write",
+            cost: Optional[CostModel] = None,
+            batching_factor: Optional[float] = None) -> ThroughputPrediction:
+    """Predict the Figure 4/5 cell at ``pairs`` app/server pairs."""
+    c = cost or vax_mp_profile()
+    latency, thread_occ, cpu_demand, disk_occ = _per_txn_costs(
+        c, op, group_commit)
+    offered = pairs * 1000.0 / latency
+    thread_ceiling = threads * 1000.0 / thread_occ
+    cpu_ceiling = c.num_cpus * 1000.0 / cpu_demand if cpu_demand else float("inf")
+    if disk_occ > 0:
+        batch = batching_factor
+        if batch is None:
+            if group_commit:
+                # Commits arriving during one round's window *plus* its
+                # disk write all fold into rounds; at offered rate r the
+                # expected batch is r * (window + write time).
+                cycle_s = (c.log_batch_timer + disk_occ) / 1000.0
+                batch = max(1.0, min(float(pairs), offered * cycle_s))
+            else:
+                batch = 1.0
+        disk_ceiling = 1000.0 / disk_occ * batch
+    else:
+        disk_ceiling = float("inf")
+    return ThroughputPrediction(
+        offered_tps=offered,
+        thread_ceiling_tps=thread_ceiling,
+        cpu_ceiling_tps=cpu_ceiling,
+        disk_ceiling_tps=disk_ceiling,
+    )

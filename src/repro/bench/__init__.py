@@ -1,0 +1,39 @@
+"""Experiment harness: regenerates every table and figure in the paper.
+
+Each experiment function builds a fresh simulated deployment from a
+seeded :class:`~repro.config.SystemConfig`, drives the workload the
+paper describes, and returns structured results that the
+``benchmarks/`` suite asserts shape-properties on and renders in the
+paper's own format (see :mod:`repro.bench.report`).
+
+Index (see DESIGN.md §4 for the full mapping):
+
+===========================  ==========================================
+paper artifact               function
+===========================  ==========================================
+Table 1                      :func:`repro.bench.figures.table1_report`
+§4.1 RPC breakdown           :func:`repro.bench.figures.rpc_breakdown`
+Table 2                      :func:`repro.bench.figures.table2_measured`
+Figure 2                     :func:`repro.bench.figures.figure2`
+Table 3                      :func:`repro.bench.figures.table3`
+Figure 3                     :func:`repro.bench.figures.figure3`
+Figure 4                     :func:`repro.bench.figures.figure4`
+Figure 5                     :func:`repro.bench.figures.figure5`
+§4.2 multicast variance      :func:`repro.bench.figures.multicast_variance`
+§4.2 lock contention         :func:`repro.bench.figures.lock_contention`
+===========================  ==========================================
+"""
+
+from repro.bench.experiment import (
+    LatencyResult,
+    ThroughputResult,
+    measure_latency,
+    measure_throughput,
+)
+
+__all__ = [
+    "LatencyResult",
+    "ThroughputResult",
+    "measure_latency",
+    "measure_throughput",
+]

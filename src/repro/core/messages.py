@@ -1,0 +1,225 @@
+"""Protocol messages exchanged between transaction managers.
+
+These ride the datagram layer (:mod:`repro.net.datagram`), never the
+RPC path — TranMans talk datagrams for speed and implement their own
+timeout/retry, so every message type defines a ``dedup_key`` that stays
+stable across retransmissions.
+
+Naming follows the paper: prepare / vote / commit / abort / commit-ack
+for two-phase commit; the non-blocking protocol adds the replication
+phase (replicate / replicate-ack), abort-quorum joining, and the
+termination protocol's state-request / state-report used by subordinates
+that time out and become coordinators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.outcomes import Outcome, TwoPhaseVariant, Vote
+from repro.core.quorum import QuorumSpec
+from repro.core.tid import TID
+
+
+@dataclass(frozen=True)
+class ProtocolMessage:
+    """Base class: every protocol message names its transaction/sender."""
+
+    tid: TID
+    sender: str
+
+    @property
+    def dedup_key(self) -> str:
+        return f"{type(self).__name__}:{self.tid}:{self.sender}"
+
+
+# --------------------------------------------------------------------- 2PC
+
+
+@dataclass(frozen=True)
+class PrepareRequest(ProtocolMessage):
+    """Phase-one prepare from coordinator to a subordinate."""
+
+    variant: TwoPhaseVariant = TwoPhaseVariant.OPTIMIZED
+
+
+@dataclass(frozen=True)
+class VoteResponse(ProtocolMessage):
+    """Subordinate's vote back to the coordinator."""
+
+    vote: Vote = Vote.YES
+
+
+@dataclass(frozen=True)
+class CommitNotice(ProtocolMessage):
+    """Coordinator's commit decision (phase two)."""
+
+
+@dataclass(frozen=True)
+class AbortNotice(ProtocolMessage):
+    """Coordinator's (or abort protocol's) abort notice."""
+
+
+@dataclass(frozen=True)
+class CommitAck(ProtocolMessage):
+    """Subordinate's acknowledgement that its commit record is durable.
+
+    Under the delayed-commit optimization this is what lets the
+    coordinator finally forget the transaction.
+    """
+
+
+@dataclass(frozen=True)
+class TxnInquiry(ProtocolMessage):
+    """A blocked/recovering subordinate asks the coordinator for the
+    outcome.  Presumed abort: a coordinator with no state answers
+    aborted."""
+
+
+@dataclass(frozen=True)
+class InquiryResponse(ProtocolMessage):
+    outcome: Outcome = Outcome.IN_DOUBT
+
+
+# ------------------------------------------------------------ non-blocking
+
+
+@dataclass(frozen=True)
+class NbPrepare(ProtocolMessage):
+    """Non-blocking prepare: carries the full site list and quorum sizes
+    (paper §3.3, change 1)."""
+
+    sites: Tuple[str, ...] = ()
+    quorum: Optional[QuorumSpec] = None
+
+
+@dataclass(frozen=True)
+class NbVote(ProtocolMessage):
+    vote: Vote = Vote.YES
+
+
+@dataclass(frozen=True)
+class NbReplicate(ProtocolMessage):
+    """Replication-phase request: force this decision data, then ack.
+
+    Also used by takeover coordinators to *promote* prepared sites into
+    the commit quorum — identical semantics, different sender.
+    """
+
+    decision_data: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def dedup_key(self) -> str:
+        # A promotion after a retransmitted original must still deliver,
+        # so the key includes the issuing coordinator.
+        return f"NbReplicate:{self.tid}:{self.sender}"
+
+
+@dataclass(frozen=True)
+class NbReplicateAck(ProtocolMessage):
+    """ok=True: replication record durable (sender joined the commit
+    quorum).  ok=False: refused — the sender already pledged abort."""
+
+    ok: bool = True
+
+
+@dataclass(frozen=True)
+class NbAbortJoin(ProtocolMessage):
+    """Request to join the abort quorum: pledge (durably) never to join
+    a commit quorum for this transaction."""
+
+
+@dataclass(frozen=True)
+class NbAbortJoinAck(ProtocolMessage):
+    """ok=True: pledge durable.  ok=False: refused — sender holds a
+    replication record (change 4: no site joins both quorums)."""
+
+    ok: bool = True
+
+
+@dataclass(frozen=True)
+class NbOutcome(ProtocolMessage):
+    """Notify-phase message: the decided outcome."""
+
+    outcome: Outcome = Outcome.COMMITTED
+
+
+@dataclass(frozen=True)
+class NbStateRequest(ProtocolMessage):
+    """Termination protocol: a timed-out subordinate, acting as a new
+    coordinator, polls every site's state (change 2).  ``round`` makes
+    successive polls distinguishable from wire duplicates."""
+
+    round: int = 0
+
+    @property
+    def dedup_key(self) -> str:
+        return f"NbStateRequest:{self.tid}:{self.sender}:{self.round}"
+
+
+@dataclass(frozen=True)
+class NbStateReport(ProtocolMessage):
+    """Reply to a state request.
+
+    ``status`` is one of ``"no_state"`` (nothing known — presumed
+    abort), ``"prepared"``, ``"replicated"`` (holds a replication
+    record), ``"abort_pledged"``, ``"committed"``, ``"aborted"``.
+    ``decision_data`` rides along when status is ``"replicated"`` so the
+    inquirer learns the vote vector and quorum spec.
+    """
+
+    status: str = "no_state"
+    decision_data: Optional[Dict[str, Any]] = None
+    round: int = 0
+
+    @property
+    def dedup_key(self) -> str:
+        return f"NbStateReport:{self.tid}:{self.sender}:{self.round}"
+
+
+@dataclass(frozen=True)
+class NbOutcomeAck(ProtocolMessage):
+    """Acknowledges NbOutcome so the coordinator can stop resending."""
+
+
+# ------------------------------------------------------------------ nested
+
+
+@dataclass(frozen=True)
+class NestedCommit(ProtocolMessage):
+    """A subtransaction committed (relative to its parent): remote sites
+    it touched must let the parent inherit its locks.  Volatile — Moss
+    subtransaction commits write no log records; permanence comes only
+    from the eventual top-level commit."""
+
+
+# --------------------------------------------------------- abort protocol
+
+
+@dataclass(frozen=True)
+class FamilyAbort(ProtocolMessage):
+    """Abort protocol message: abort this (sub)transaction everywhere.
+
+    ``known_sites`` lets receivers propagate to sites the sender knew
+    about; receivers merge with their own knowledge, so the abort
+    reaches every participant even though no single site knows them all
+    (the paper's abort protocol "can operate with incomplete knowledge
+    about which sites are involved").
+    """
+
+    known_sites: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FamilyAbortAck(ProtocolMessage):
+    pass
+
+
+ANY_MESSAGE = (
+    PrepareRequest, VoteResponse, CommitNotice, AbortNotice, CommitAck,
+    TxnInquiry, InquiryResponse,
+    NbPrepare, NbVote, NbReplicate, NbReplicateAck, NbAbortJoin,
+    NbAbortJoinAck, NbOutcome, NbOutcomeAck, NbStateRequest, NbStateReport,
+    NestedCommit, FamilyAbort, FamilyAbortAck,
+)

@@ -1,0 +1,938 @@
+"""The transaction manager process (TranMan).
+
+"The transaction manager is essentially a protocol processor; most calls
+from applications or servers invoke one protocol or another" (paper §3).
+This module hosts the sans-IO state machines of
+:mod:`repro.core.twophase`, :mod:`repro.core.nonblocking` and
+:mod:`repro.core.abortproto` on the simulated substrate:
+
+- a request port drained by a **C-Threads-style pool** (size is the
+  experimental parameter of Figures 4-5); every thread waits for any
+  type of input — application calls, server joins, inbound datagrams —
+  processes it, and resumes waiting (paper §3.4);
+- the **family descriptor hash table**, each family protected by its own
+  lock so only same-family operations contend;
+- an **effect executor** that maps machine effects onto the substrate:
+  datagrams (with piggybacked lazy sends), log forces through the disk
+  manager, local server prepare/commit/abort rounds, timers;
+- the **stateless protocol edge**: presumed-abort answers for forgotten
+  transactions, tombstones (change 4: never report "no state" for a
+  transaction that decided), durable abort pledges, quorum helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Set
+
+from repro.config import CostModel
+from repro.core.abortproto import AbortInitiator, AbortParticipant
+from repro.core.effects import (
+    CancelTimer,
+    Complete,
+    Effect,
+    ForceLog,
+    Forget,
+    LazySendDatagram,
+    LocalAbort,
+    LocalCommit,
+    LocalPrepare,
+    MulticastDatagram,
+    SendDatagram,
+    StartTakeover,
+    StartTimer,
+    Trace,
+    WriteLog,
+)
+from repro.core.family import FamilyTable
+from repro.core.messages import (
+    AbortNotice,
+    CommitAck,
+    CommitNotice,
+    FamilyAbort,
+    FamilyAbortAck,
+    InquiryResponse,
+    NbAbortJoin,
+    NbAbortJoinAck,
+    NbOutcome,
+    NbOutcomeAck,
+    NbPrepare,
+    NbReplicate,
+    NbReplicateAck,
+    NbStateReport,
+    NbStateRequest,
+    NbVote,
+    NestedCommit,
+    PrepareRequest,
+    TxnInquiry,
+    VoteResponse,
+)
+from repro.core.nonblocking import NbCoordinator, NbSubordinate, NbTakeover
+from repro.core.outcomes import Outcome, ProtocolKind, TwoPhaseVariant, Vote
+from repro.core.quorum import QuorumSpec
+from repro.core.tid import TID, TidGenerator
+from repro.core.twophase import TwoPhaseCoordinator, TwoPhaseSubordinate
+from repro.log.records import abort_pledge_record
+from repro.mach.ipc import IpcFabric
+from repro.mach.message import Message
+from repro.mach.site import Site
+from repro.mach.threads import CThreadsPool
+from repro.net.datagram import Datagram, DatagramService
+from repro.servers.diskman import DiskManager
+from repro.sim.events import SimEvent, all_of
+from repro.sim.kernel import Kernel, Timer
+from repro.sim.process import Sleep, Wait
+from repro.sim.resources import SimLock
+from repro.sim.tracing import Tracer
+
+PIGGYBACK_SWEEP_MS = 50.0
+
+
+class TransactionManager:
+    """One site's TranMan."""
+
+    def __init__(self, kernel: Kernel, site: Site, fabric: IpcFabric,
+                 dgram: DatagramService, diskman: DiskManager,
+                 cost: CostModel, tracer: Tracer,
+                 threads: int = 20, use_multicast: bool = False):
+        self.kernel = kernel
+        self.site = site
+        self.fabric = fabric
+        self.dgram = dgram
+        self.diskman = diskman
+        self.cost = cost
+        self.tracer = tracer
+        self.use_multicast = use_multicast
+
+        self.families = FamilyTable()
+        self.family_locks: Dict[str, SimLock] = {}
+        self.tid_gen = TidGenerator(site.name)
+        self.machines: Dict[TID, Any] = {}
+        self.takeovers: Dict[TID, NbTakeover] = {}
+        self.tombstones: Dict[str, Outcome] = {}
+        self.pledges: Set[str] = set()
+        # TIDs this site answered READ_ONLY for: a retried prepare must
+        # re-vote read-only, not NO (the machine is long forgotten).
+        self.read_only_votes: Set[str] = set()
+        self._pending_calls: Dict[TID, Message] = {}
+        self._timers: Dict[tuple, Timer] = {}
+        self._lazy: Dict[str, List[Any]] = {}
+        self._abort_participant = AbortParticipant(site.name)
+        # Local data servers by name; filled in by system assembly.
+        self.servers: Dict[str, Any] = {}
+
+        self.stats = {
+            "begun": 0, "committed": 0, "aborted": 0,
+            "nested_begun": 0, "nested_committed": 0, "nested_aborted": 0,
+        }
+
+        self.port = site.create_port("tranman")
+        self.pool = CThreadsPool(
+            kernel, self.port, self._handle, size=threads,
+            name=f"{site.name}/tranman",
+            spawn=lambda body, name: site.spawn(body, name))
+        self._pump = site.spawn(self._datagram_pump(), "tranman.dgram_pump")
+        self._sweeper = site.spawn(self._piggyback_sweep(), "tranman.piggyback")
+        self._orphan_reaper = site.spawn(self._orphan_sweep(),
+                                         "tranman.orphans")
+        site.on_crash.append(self._on_site_crash)
+
+    # ------------------------------------------------------------ wiring
+
+    def register_server(self, server: Any) -> None:
+        self.servers[server.name] = server
+
+    def _family_lock(self, family: str) -> SimLock:
+        lock = self.family_locks.get(family)
+        if lock is None:
+            lock = SimLock(self.kernel, name=f"{self.site.name}.fam.{family}")
+            self.family_locks[family] = lock
+        return lock
+
+    def _datagram_pump(self) -> Generator[Any, Any, None]:
+        """Move inbound datagrams onto the request port, so the one
+        thread pool serves 'any type of input' as the paper describes."""
+        while True:
+            dgram = yield from self.dgram.inbox.get()
+            self.port.enqueue(Message(kind="_datagram",
+                                      body={"payload": dgram}))
+
+    def _piggyback_sweep(self) -> Generator[Any, Any, None]:
+        """Flush lazily queued (piggybacked) messages periodically."""
+        while True:
+            yield Sleep(PIGGYBACK_SWEEP_MS)
+            for dst in list(self._lazy):
+                self._flush_lazy(dst)
+
+    def _orphan_sweep(self) -> Generator[Any, Any, None]:
+        """Abort transactions whose coordinator evidently died.
+
+        A family with no live protocol machine and no TranMan activity
+        for ``orphan_timeout`` will never commit: its coordinator never
+        started commitment (had it, a machine or tombstone would exist
+        here).  Aborting locally is always safe before a YES vote —
+        presumed abort lets a participant abort unilaterally at any time
+        until it has voted.  Without this sweep, a coordinator crash
+        before prepare strands its locks at every participant forever.
+        """
+        interval = max(self.cost.orphan_timeout / 4.0, 500.0)
+        while True:
+            yield Sleep(interval)
+            now = self.kernel.now
+            for family_name in self.families.active_families():
+                fam = self.families.family(family_name)
+                if fam is None or fam.empty:
+                    continue
+                if any(tid.family == family_name
+                       for tid in self.machines):
+                    continue
+                if any(tid.family == family_name
+                       for tid in self.takeovers):
+                    continue
+                last = max(d.last_activity for d in fam.transactions.values())
+                if now - last < self.cost.orphan_timeout:
+                    continue
+                top = TID(family_name)
+                self.tracer.record(now, "tranman.orphan_abort",
+                                   site=self.site.name, tid=family_name)
+                self.tombstones[family_name] = Outcome.ABORTED
+                self._local_abort(top)
+                self.families.forget_family(family_name)
+                self.family_locks.pop(family_name, None)
+                self.tid_gen.forget_family(family_name)
+
+    def _touch(self, tid: TID) -> None:
+        desc = self.families.descriptor(tid)
+        if desc is not None:
+            desc.last_activity = self.kernel.now
+
+    def _flush_lazy(self, dst: str) -> None:
+        queued = self._lazy.pop(dst, None)
+        if not queued:
+            return
+        for message in queued:
+            self.tracer.record(self.kernel.now, "tranman.piggyback",
+                               site=self.site.name, dst=dst)
+            self.dgram.send(dst, message)
+
+    # --------------------------------------------------------- dispatch
+
+    def _handle(self, msg: Message) -> Generator[Any, Any, None]:
+        yield from self.site.consume_cpu(self.cost.tranman_service_cpu)
+        kind = msg.kind
+        if kind == "_datagram":
+            yield from self._on_datagram(msg.body["payload"])
+        elif kind == "begin_transaction":
+            yield from self._begin(msg)
+        elif kind == "join":
+            yield from self._join(msg)
+        elif kind == "commit_transaction":
+            yield from self._commit(msg)
+        elif kind == "abort_transaction":
+            yield from self._abort(msg)
+        elif kind == "note_sites":
+            self._note_sites_msg(msg)
+        else:
+            raise ValueError(f"tranman: unknown message kind {kind!r}")
+
+    # ----------------------------------------------- application calls
+
+    def _begin(self, msg: Message) -> Generator[Any, Any, None]:
+        parent_raw = msg.body.get("parent")
+        if parent_raw is None:
+            tid = self.tid_gen.new_top_level()
+            self.stats["begun"] += 1
+        else:
+            parent = TID.parse(parent_raw)
+            parent_desc = self.families.descriptor(parent)
+            if parent_desc is None or not parent_desc.active:
+                self.fabric.reply(msg, msg.reply("begin_failed",
+                                                 reason="unknown parent"))
+                return
+            tid = self.tid_gen.new_child(parent)
+            self.stats["nested_begun"] += 1
+        lock = self._family_lock(tid.family)
+        yield from lock.acquire()
+        try:
+            desc = self.families.begin(tid)
+            desc.last_activity = self.kernel.now
+            raw_protocol = msg.body.get("protocol",
+                                        ProtocolKind.TWO_PHASE.value)
+            desc.protocol = ProtocolKind(raw_protocol)
+        finally:
+            lock.release()
+        self.tracer.record(self.kernel.now, "tranman.begin",
+                           site=self.site.name, tid=str(tid))
+        self.fabric.reply(msg, msg.reply("begin_ok", tid=str(tid)),
+                          flavour="immediate")
+
+    def _join(self, msg: Message) -> Generator[Any, Any, None]:
+        tid = TID.parse(msg.body["tid"])
+        server = msg.body["server"]
+        lock = self._family_lock(tid.family)
+        yield from lock.acquire()
+        try:
+            desc = self.families.descriptor(tid)
+            if desc is None:
+                # A remote transaction doing its first operation here:
+                # the descriptor materialises on join.
+                desc = self.families.begin(tid)
+            desc.note_server_joined(server)
+            desc.last_activity = self.kernel.now
+        finally:
+            lock.release()
+        self.tracer.record(self.kernel.now, "tranman.join",
+                           site=self.site.name, tid=str(tid), server=server)
+        if msg.reply_to is not None:
+            self.fabric.reply(msg, msg.reply("join_ok"))
+
+    def note_remote_site(self, tid: TID, remote: str) -> None:
+        """ComMan spying, request direction."""
+        desc = self.families.descriptor(tid)
+        if desc is None:
+            desc = self.families.begin(tid)
+        desc.note_sites([remote])
+        desc.last_activity = self.kernel.now
+
+    def note_remote_sites(self, tid: TID, remotes: Sequence[str]) -> None:
+        """ComMan spying, response direction (merged site lists)."""
+        desc = self.families.descriptor(tid)
+        if desc is None:
+            desc = self.families.begin(tid)
+        desc.note_sites(list(remotes))
+        desc.last_activity = self.kernel.now
+
+    def known_sites(self, tid: TID) -> Set[str]:
+        fam = self.families.family_of(tid)
+        if fam is None:
+            return set()
+        return fam.all_sites()
+
+    def _note_sites_msg(self, msg: Message) -> None:
+        self.note_remote_sites(TID.parse(msg.body["tid"]),
+                               msg.body["sites"])
+
+    # ------------------------------------------------------- commitment
+
+    def _commit(self, msg: Message) -> Generator[Any, Any, None]:
+        tid = TID.parse(msg.body["tid"])
+        desc = self.families.descriptor(tid)
+        if desc is None or not desc.active:
+            self.fabric.reply(msg, msg.reply("commit_failed",
+                                             reason="unknown transaction"))
+            return
+        if not tid.is_top_level:
+            self._commit_nested(tid, msg)
+            return
+        protocol = ProtocolKind(msg.body.get("protocol", desc.protocol.value))
+        variant = TwoPhaseVariant(msg.body.get(
+            "variant", TwoPhaseVariant.OPTIMIZED.value))
+        fam = self.families.family_of(tid)
+        subordinates = sorted(s for s in fam.all_sites()
+                              if s != self.site.name)
+        self._pending_calls[tid] = msg
+        if protocol is ProtocolKind.NON_BLOCKING:
+            policy = msg.body.get("quorum_policy", "majority")
+            n_sites = len(subordinates) + 1
+            if policy == "commit_weighted":
+                quorum = QuorumSpec.commit_weighted(n_sites)
+            elif policy == "majority":
+                quorum = QuorumSpec.majority(n_sites)
+            else:
+                raise ValueError(f"unknown quorum policy {policy!r}")
+            machine: Any = NbCoordinator(
+                tid, self.site.name, subordinates, quorum=quorum,
+                use_multicast=self.use_multicast,
+                vote_timeout_ms=self.cost.protocol_timeout,
+                repl_timeout_ms=self.cost.protocol_timeout,
+                notify_timeout_ms=self.cost.protocol_timeout)
+        else:
+            machine = TwoPhaseCoordinator(
+                tid, self.site.name, subordinates, variant=variant,
+                use_multicast=self.use_multicast,
+                vote_timeout_ms=self.cost.protocol_timeout,
+                ack_timeout_ms=self.cost.protocol_timeout)
+        self.machines[tid] = machine
+        self.tracer.record(self.kernel.now, "tranman.commit_call",
+                           site=self.site.name, tid=str(tid),
+                           protocol=protocol.value, subs=len(subordinates))
+        yield from self._execute(machine, machine.start())
+
+    def _commit_nested(self, tid: TID, msg: Message) -> None:
+        """Moss subtransaction commit: volatile, relative to the parent."""
+        desc = self.families.descriptor(tid)
+        desc.outcome = Outcome.COMMITTED
+        self.stats["nested_committed"] += 1
+        fam = self.families.family_of(tid)
+        # Local lock inheritance at every server the family touched.
+        for server_name in sorted(fam.all_servers()):
+            server = self.servers.get(server_name)
+            if server is None:
+                continue
+            inherit = Message(kind="commit_child", body={"tid": str(tid)})
+            self.fabric.send(server.port, inherit, flavour="oneway",
+                             sender_site=self.site.name)
+        # Remote inheritance: one (lazy) datagram per involved site.
+        for remote in sorted(desc.sites_used):
+            self._queue_lazy(remote, NestedCommit(tid=tid, sender=self.site.name))
+        self.fabric.reply(msg, msg.reply("commit_ok",
+                                         outcome=Outcome.COMMITTED.value))
+
+    def _abort(self, msg: Message) -> Generator[Any, Any, None]:
+        tid = TID.parse(msg.body["tid"])
+        desc = self.families.descriptor(tid)
+        if desc is None or not desc.active:
+            self.fabric.reply(msg, msg.reply("abort_failed",
+                                             reason="unknown transaction"))
+            return
+        machine = self.machines.get(tid)
+        if machine is not None and hasattr(machine, "abort_now"):
+            if getattr(machine, "outcome", None) is not None:
+                # Commitment already decided: the abort loses the race.
+                self.fabric.reply(msg, msg.reply(
+                    "abort_failed", reason="already decided"))
+                return
+            from repro.core.nonblocking import NbProtocolViolation
+
+            try:
+                effects = machine.abort_now()
+            except NbProtocolViolation:
+                # Non-blocking commit past the replication phase: only
+                # the quorum machinery may exclude commit now.
+                self.fabric.reply(msg, msg.reply(
+                    "abort_failed", reason="replication phase begun"))
+                return
+            self._pending_calls.setdefault(tid, msg)
+            yield from self._execute(machine, effects)
+            return
+        if not tid.is_top_level:
+            self.stats["nested_aborted"] += 1
+            desc.outcome = Outcome.ABORTED
+        fam = self.families.family_of(tid)
+        known = sorted(fam.all_sites() - {self.site.name}) if fam else []
+        initiator = AbortInitiator(tid, self.site.name, known,
+                                   ack_timeout_ms=self.cost.protocol_timeout)
+        self.machines[tid] = initiator
+        self._pending_calls[tid] = msg
+        yield from self._execute(initiator, initiator.start())
+
+    # ----------------------------------------------- datagram dispatch
+
+    def _on_datagram(self, dgram: Datagram) -> Generator[Any, Any, None]:
+        pmsg = dgram.payload
+        tid: TID = pmsg.tid
+        self.tracer.record(self.kernel.now, "tranman.dgram_in",
+                           site=self.site.name, kind_of=type(pmsg).__name__)
+        # Takeover-coordinated message types go to the takeover first.
+        takeover = self.takeovers.get(tid)
+        if takeover is not None and isinstance(
+                pmsg, (NbStateReport, NbReplicateAck, NbAbortJoinAck,
+                       NbOutcomeAck)):
+            yield from self._execute(takeover, takeover.on_message(pmsg))
+            return
+        machine = self.machines.get(tid)
+        if isinstance(pmsg, NbOutcome):
+            # Outcomes concern everyone at this site: participant machine,
+            # takeover, or neither (tombstone ack).
+            handled = False
+            if machine is not None:
+                yield from self._execute(machine, machine.on_message(pmsg))
+                handled = True
+            if takeover is not None:
+                yield from self._execute(takeover, takeover.on_message(pmsg))
+                handled = True
+            if not handled:
+                yield from self._stateless(pmsg)
+            return
+        if machine is not None:
+            yield from self._execute(machine, machine.on_message(pmsg))
+            return
+        yield from self._stateless(pmsg)
+
+    def _stateless(self, pmsg: Any) -> Generator[Any, Any, None]:
+        """Protocol edge for transactions with no live machine here."""
+        tid: TID = pmsg.tid
+        tomb = self.tombstones.get(str(tid))
+        if isinstance(pmsg, PrepareRequest):
+            yield from self._stateless_prepare_2pc(pmsg, tomb)
+        elif isinstance(pmsg, NbPrepare):
+            yield from self._stateless_prepare_nb(pmsg, tomb)
+        elif isinstance(pmsg, CommitNotice):
+            if tomb is Outcome.COMMITTED:
+                self.dgram.send(pmsg.sender,
+                                CommitAck(tid=tid, sender=self.site.name))
+        elif isinstance(pmsg, AbortNotice):
+            pass  # nothing known, nothing to do (presumed abort)
+        elif isinstance(pmsg, TxnInquiry):
+            outcome = tomb if tomb is not None else Outcome.ABORTED
+            live = self.families.descriptor(tid)
+            if tomb is None and live is not None and live.active:
+                return  # still running; the inquirer should not exist yet
+            self.dgram.send(pmsg.sender,
+                            InquiryResponse(tid=tid, sender=self.site.name,
+                                            outcome=outcome))
+        elif isinstance(pmsg, NbReplicate):
+            yield from self._stateless_replicate(pmsg, tomb)
+        elif isinstance(pmsg, NbAbortJoin):
+            yield from self._stateless_abort_join(pmsg, tomb)
+        elif isinstance(pmsg, NbStateRequest):
+            self._stateless_state_request(pmsg, tomb)
+        elif isinstance(pmsg, NbOutcome):
+            if tomb is not None and tomb is not (
+                    Outcome.COMMITTED if pmsg.outcome is Outcome.COMMITTED
+                    else Outcome.ABORTED):
+                raise AssertionError(
+                    f"{tid}: outcome {pmsg.outcome} conflicts with tombstone "
+                    f"{tomb} at {self.site.name}")
+            self.dgram.send(pmsg.sender,
+                            NbOutcomeAck(tid=tid, sender=self.site.name))
+        elif isinstance(pmsg, NestedCommit):
+            self._on_nested_commit(pmsg)
+        elif isinstance(pmsg, FamilyAbort):
+            yield from self._on_family_abort(pmsg)
+        elif isinstance(pmsg, (VoteResponse, NbVote, CommitAck,
+                               NbReplicateAck, NbAbortJoinAck, NbOutcomeAck,
+                               NbStateReport, FamilyAbortAck,
+                               InquiryResponse)):
+            pass  # stale response to a machine that already finished
+        else:
+            raise ValueError(f"unhandled datagram payload {pmsg!r}")
+
+    def _stateless_prepare_2pc(self, pmsg: PrepareRequest,
+                               tomb: Optional[Outcome]
+                               ) -> Generator[Any, Any, None]:
+        tid = pmsg.tid
+        if tomb is Outcome.COMMITTED:
+            # We finished and the coordinator retried: it wants the ack.
+            self.dgram.send(pmsg.sender,
+                            CommitAck(tid=tid, sender=self.site.name))
+            return
+        if str(tid) in self.read_only_votes:
+            self.dgram.send(pmsg.sender,
+                            VoteResponse(tid=tid, sender=self.site.name,
+                                         vote=Vote.READ_ONLY))
+            return
+        if tomb is Outcome.ABORTED or self.families.family_of(tid) is None:
+            # Presumed abort: no family state means any pre-crash work is
+            # gone; we must refuse, never claim read-only.  (The family,
+            # not the top-level descriptor: a remote site often knows the
+            # transaction only through nested children that ran here.)
+            self.dgram.send(pmsg.sender,
+                            VoteResponse(tid=tid, sender=self.site.name,
+                                         vote=Vote.NO))
+            return
+        sub = TwoPhaseSubordinate(tid, self.site.name, pmsg.sender,
+                                  variant=pmsg.variant,
+                                  outcome_timeout_ms=self.cost.protocol_timeout)
+        self.machines[tid] = sub
+        yield from self._execute(sub, sub.start())
+
+    def _stateless_prepare_nb(self, pmsg: NbPrepare, tomb: Optional[Outcome]
+                              ) -> Generator[Any, Any, None]:
+        tid = pmsg.tid
+        if tomb is Outcome.COMMITTED:
+            self.dgram.send(pmsg.sender,
+                            NbOutcomeAck(tid=tid, sender=self.site.name))
+            return
+        if str(tid) in self.read_only_votes:
+            self.dgram.send(pmsg.sender,
+                            NbVote(tid=tid, sender=self.site.name,
+                                   vote=Vote.READ_ONLY))
+            return
+        pledged = str(tid) in self.pledges
+        if (tomb is Outcome.ABORTED
+                or (self.families.family_of(tid) is None and not pledged)):
+            self.dgram.send(pmsg.sender,
+                            NbVote(tid=tid, sender=self.site.name,
+                                   vote=Vote.NO))
+            return
+        sub = NbSubordinate(tid, self.site.name, pmsg.sender,
+                            list(pmsg.sites), pmsg.quorum,
+                            outcome_timeout_ms=self.cost.protocol_timeout,
+                            already_pledged=pledged)
+        self.machines[tid] = sub
+        yield from self._execute(sub, sub.start())
+
+    def _stateless_replicate(self, pmsg: NbReplicate, tomb: Optional[Outcome]
+                             ) -> Generator[Any, Any, None]:
+        tid = pmsg.tid
+        if str(tid) in self.pledges or tomb is Outcome.ABORTED:
+            self.dgram.send(pmsg.sender,
+                            NbReplicateAck(tid=tid, sender=self.site.name,
+                                           ok=False))
+            return
+        if tomb is Outcome.COMMITTED:
+            self.dgram.send(pmsg.sender,
+                            NbReplicateAck(tid=tid, sender=self.site.name,
+                                           ok=True))
+            return
+        # Quorum helper: a read-only (or forgotten) site drafted into the
+        # commit quorum; the replicate message is self-contained.
+        helper = NbSubordinate.helper(tid, self.site.name, pmsg,
+                                      outcome_timeout_ms=self.cost.protocol_timeout)
+        self.machines[tid] = helper
+        yield from self._execute(helper, helper.on_message(pmsg))
+
+    def _stateless_abort_join(self, pmsg: NbAbortJoin, tomb: Optional[Outcome]
+                              ) -> Generator[Any, Any, None]:
+        tid = pmsg.tid
+        if tomb is Outcome.COMMITTED:
+            self.dgram.send(pmsg.sender,
+                            NbAbortJoinAck(tid=tid, sender=self.site.name,
+                                           ok=False))
+            return
+        if str(tid) in self.pledges or tomb is Outcome.ABORTED:
+            self.dgram.send(pmsg.sender,
+                            NbAbortJoinAck(tid=tid, sender=self.site.name,
+                                           ok=True))
+            return
+        # Durable pledge: force it, then acknowledge.
+        record = self.diskman.append(
+            abort_pledge_record(str(tid), self.site.name))
+        yield from self.diskman.force(record.lsn)
+        self.pledges.add(str(tid))
+        self.tracer.record(self.kernel.now, "nb.stateless_pledge",
+                           site=self.site.name, tid=str(tid))
+        self.dgram.send(pmsg.sender,
+                        NbAbortJoinAck(tid=tid, sender=self.site.name,
+                                       ok=True))
+
+    def _stateless_state_request(self, pmsg: NbStateRequest,
+                                 tomb: Optional[Outcome]) -> None:
+        tid = pmsg.tid
+        if tomb is Outcome.COMMITTED:
+            status = "committed"
+        elif tomb is Outcome.ABORTED:
+            status = "aborted"
+        elif str(tid) in self.pledges:
+            status = "abort_pledged"
+        else:
+            status = "no_state"
+        self.dgram.send(pmsg.sender,
+                        NbStateReport(tid=tid, sender=self.site.name,
+                                      status=status, round=pmsg.round))
+
+    def _on_nested_commit(self, pmsg: NestedCommit) -> None:
+        tid = pmsg.tid
+        fam = self.families.family_of(tid)
+        if fam is None:
+            return
+        for server_name in sorted(fam.all_servers()):
+            server = self.servers.get(server_name)
+            if server is None:
+                continue
+            inherit = Message(kind="commit_child", body={"tid": str(tid)})
+            self.fabric.send(server.port, inherit, flavour="oneway",
+                             sender_site=self.site.name)
+
+    def _on_family_abort(self, pmsg: FamilyAbort) -> Generator[Any, Any, None]:
+        known = sorted(self.known_sites(pmsg.tid) - {self.site.name})
+        effects = self._abort_participant.on_abort(pmsg, known)
+        yield from self._execute(None, effects)
+        desc = self.families.descriptor(pmsg.tid)
+        if desc is not None:
+            desc.outcome = Outcome.ABORTED
+
+    # ----------------------------------------------- effect execution
+
+    def _execute(self, machine: Optional[Any],
+                 effects: Sequence[Effect]) -> Generator[Any, Any, None]:
+        """Run an effect batch; continuations recurse through here."""
+        for effect in effects:
+            if isinstance(effect, SendDatagram):
+                self._flush_lazy(effect.dst)  # piggyback opportunity
+                self.tracer.record(self.kernel.now, "tranman.datagram",
+                                   site=self.site.name, dst=effect.dst,
+                                   kind_of=type(effect.message).__name__)
+                self.dgram.send(effect.dst, effect.message)
+            elif isinstance(effect, MulticastDatagram):
+                self.tracer.record(self.kernel.now, "tranman.multicast",
+                                   site=self.site.name,
+                                   fanout=len(effect.dsts),
+                                   kind_of=type(effect.message).__name__)
+                self.dgram.multicast(list(effect.dsts), effect.message)
+            elif isinstance(effect, LazySendDatagram):
+                self._queue_lazy(effect.dst, effect.message)
+            elif isinstance(effect, ForceLog):
+                record = self.diskman.append(effect.record)
+                self._note_membership(effect.record)
+                yield from self.diskman.force(record.lsn)
+                yield from self._continue(machine, "on_log_forced",
+                                          effect.token)
+            elif isinstance(effect, WriteLog):
+                record = self.diskman.append(effect.record)
+                self._note_membership(effect.record)
+                if effect.token is not None:
+                    self.diskman.watch_durable(
+                        record.lsn,
+                        self._spawn_continuation(machine, "on_log_durable",
+                                                 effect.token))
+            elif isinstance(effect, LocalPrepare):
+                yield from self._local_prepare(machine, effect)
+            elif isinstance(effect, LocalCommit):
+                self._local_commit(effect.tid)
+            elif isinstance(effect, LocalAbort):
+                self._local_abort(effect.tid)
+            elif isinstance(effect, Complete):
+                self._complete(effect)
+            elif isinstance(effect, Forget):
+                self._forget(machine, effect.tid)
+            elif isinstance(effect, StartTimer):
+                self._start_timer(machine, effect)
+            elif isinstance(effect, CancelTimer):
+                self._cancel_timer(machine, effect.token)
+            elif isinstance(effect, StartTakeover):
+                yield from self._start_takeover(effect.tid)
+            elif isinstance(effect, Trace):
+                detail = {k: v for k, v in effect.detail.items()
+                          if k != "site"}
+                self.tracer.record(self.kernel.now, effect.kind,
+                                   site=self.site.name, **detail)
+            else:
+                raise ValueError(f"unknown effect {effect!r}")
+
+    def _continue(self, machine: Optional[Any], method: str,
+                  *args: Any) -> Generator[Any, Any, None]:
+        if machine is None:
+            return
+        more = getattr(machine, method)(*args)
+        if more:
+            yield from self._execute(machine, more)
+
+    def _spawn_continuation(self, machine: Optional[Any], method: str,
+                            *args: Any) -> Callable[[], None]:
+        def fire() -> None:
+            if machine is None:
+                return
+            more = getattr(machine, method)(*args)
+            if more:
+                self.site.spawn(self._execute(machine, more),
+                                f"tranman.cont.{method}")
+        return fire
+
+    def _note_membership(self, record: Any) -> None:
+        """Track quorum membership facts as their records are written."""
+        from repro.log.records import RecordKind
+
+        if record.kind is RecordKind.ABORT_PLEDGE:
+            self.pledges.add(record.tid)
+        elif record.kind is RecordKind.REPLICATION:
+            tid = TID.parse(record.tid)
+            sub = self.machines.get(tid)
+            if isinstance(sub, NbSubordinate):
+                # Keep a concurrently-running participant machine's view
+                # of our membership coherent with the takeover's action.
+                self.kernel.call_soon(sub.note_local_replication)
+
+    # ------------------------------------------------- local participant
+
+    def _local_prepare(self, machine: Any, effect: LocalPrepare
+                       ) -> Generator[Any, Any, None]:
+        tid = effect.tid
+        fam = self.families.family_of(tid)
+        servers = sorted(fam.all_servers()) if fam is not None else []
+        votes: List[Vote] = []
+        if not servers:
+            combined = Vote.READ_ONLY
+        else:
+            events = []
+            for name in servers:
+                server = self.servers.get(name)
+                if server is None:
+                    votes.append(Vote.NO)
+                    continue
+                done = SimEvent(self.kernel, name=f"prep.{name}")
+                events.append(done)
+                self.site.spawn(self._ask_server_vote(server, tid, done),
+                                f"tranman.prep.{name}")
+            if events:
+                results = yield from _wait_all(self.kernel, events)
+                votes.extend(results)
+            combined = _combine_votes(votes)
+        if combined is Vote.READ_ONLY:
+            self.read_only_votes.add(str(tid))
+        self.tracer.record(self.kernel.now, "tranman.local_prepared",
+                           site=self.site.name, tid=str(tid),
+                           vote=combined.value)
+        yield from self._continue(machine, "on_local_prepared", combined)
+
+    def _ask_server_vote(self, server: Any, tid: TID,
+                         done: SimEvent) -> Generator[Any, Any, None]:
+        msg = Message(kind="prepare", body={"tid": str(tid)})
+        try:
+            reply = yield from self.fabric.call(server.port, msg,
+                                                sender_site=self.site.name)
+        except Exception:
+            done.trigger(Vote.NO)
+            return
+        done.trigger(Vote(reply.body["vote"]))
+
+    def _local_commit(self, tid: TID) -> None:
+        """Event 11: tell joined servers to drop the family's locks."""
+        fam = self.families.family_of(tid)
+        if fam is None:
+            return
+        for name in sorted(fam.all_servers()):
+            server = self.servers.get(name)
+            if server is None:
+                continue
+            msg = Message(kind="drop_locks", body={"tid": str(tid)})
+            self.fabric.send(server.port, msg, flavour="oneway",
+                             sender_site=self.site.name)
+
+    def _local_abort(self, tid: TID) -> None:
+        fam = self.families.family_of(tid)
+        if fam is None:
+            return
+        for name in sorted(fam.all_servers()):
+            server = self.servers.get(name)
+            if server is None:
+                continue
+            msg = Message(kind="abort", body={"tid": str(tid)})
+            self.fabric.send(server.port, msg, flavour="oneway",
+                             sender_site=self.site.name)
+
+    # ------------------------------------------------------ completions
+
+    def _complete(self, effect: Complete) -> None:
+        tid = effect.tid
+        self.tombstones[str(tid)] = effect.outcome
+        if tid.is_top_level:
+            if effect.outcome is Outcome.COMMITTED:
+                self.stats["committed"] += 1
+            else:
+                self.stats["aborted"] += 1
+        call = self._pending_calls.pop(tid, None)
+        self.tracer.record(self.kernel.now, "tranman.complete",
+                           site=self.site.name, tid=str(tid),
+                           outcome=effect.outcome.value)
+        if call is not None:
+            self.fabric.reply(call, call.reply(
+                "commit_ok" if effect.outcome is Outcome.COMMITTED
+                else "commit_aborted",
+                outcome=effect.outcome.value))
+
+    def _forget(self, machine: Optional[Any], tid: TID) -> None:
+        outcome = getattr(machine, "outcome", None)
+        if outcome is not None:
+            self.tombstones[str(tid)] = outcome
+        current = self.machines.get(tid)
+        if current is machine:
+            del self.machines[tid]
+        if self.takeovers.get(tid) is machine:
+            del self.takeovers[tid]
+        for key in [k for k in self._timers if k[0] is machine]:
+            self._timers.pop(key).cancel()
+        # Family state goes when the top-level transaction resolves (and
+        # no takeover for it is still notifying peers).
+        if tid.is_top_level and tid not in self.takeovers:
+            self.families.forget_family(tid.family)
+            self.family_locks.pop(tid.family, None)
+            self.tid_gen.forget_family(tid.family)
+
+    # ------------------------------------------------------------ timers
+
+    def _start_timer(self, machine: Optional[Any], effect: StartTimer) -> None:
+        key = (machine, effect.token)
+        existing = self._timers.pop(key, None)
+        if existing is not None:
+            existing.cancel()
+        self._timers[key] = self.kernel.schedule(
+            effect.delay_ms, self._fire_timer, machine, effect.token)
+
+    def _cancel_timer(self, machine: Optional[Any], token: str) -> None:
+        timer = self._timers.pop((machine, token), None)
+        if timer is not None:
+            timer.cancel()
+
+    def _on_site_crash(self) -> None:
+        """Volatile state dies with the site: timers, queues, machines."""
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        self._lazy.clear()
+        self.machines.clear()
+        self.takeovers.clear()
+        self._pending_calls.clear()
+
+    def _fire_timer(self, machine: Optional[Any], token: str) -> None:
+        self._timers.pop((machine, token), None)
+        if not self.site.alive:
+            return
+        if machine is None or not self._machine_live(machine):
+            return
+        more = machine.on_timer(token)
+        if more:
+            self.site.spawn(self._execute(machine, more),
+                            f"tranman.timer.{token}")
+
+    def _machine_live(self, machine: Any) -> bool:
+        tid = getattr(machine, "tid", None)
+        if tid is None:
+            return False
+        return (self.machines.get(tid) is machine
+                or self.takeovers.get(tid) is machine)
+
+    # ---------------------------------------------------------- takeover
+
+    def _start_takeover(self, tid: TID) -> Generator[Any, Any, None]:
+        if tid in self.takeovers:
+            return
+        sub = self.machines.get(tid)
+        if not isinstance(sub, NbSubordinate):
+            return
+        status, data = sub.status_report()
+        takeover = NbTakeover(tid, self.site.name, sub.sites, sub.quorum,
+                              own_status=status, own_decision_data=data,
+                              poll_timeout_ms=self.cost.protocol_timeout / 2,
+                              notify_timeout_ms=self.cost.protocol_timeout)
+        self.takeovers[tid] = takeover
+        self.tracer.record(self.kernel.now, "tranman.takeover",
+                           site=self.site.name, tid=str(tid), status=status)
+        yield from self._execute(takeover, takeover.start())
+
+    def heuristic_resolve(self, tid: TID, outcome: Outcome) -> None:
+        """Operator/program resolution of a blocked transaction (the LU
+        6.2-style "heuristic commit" of the paper's related work): drop
+        the locks now by guessing the outcome.  If the coordinator later
+        decides the other way, the machine reports *heuristic damage*
+        (``2pc.heuristic_damage`` in the trace) — correctness is
+        explicitly not guaranteed, which is the feature's whole trade.
+        """
+        machine = self.machines.get(tid)
+        if not isinstance(machine, TwoPhaseSubordinate):
+            raise ValueError(
+                f"{tid}: no blocked two-phase subordinate at {self.site.name}")
+        effects = machine.heuristic_resolve(outcome)
+        self.site.spawn(self._execute(machine, effects), "tranman.heuristic")
+
+    def adopt_recovered_machine(self, machine: Any,
+                                resume_effects: Sequence[Effect]) -> None:
+        """Install a machine rebuilt by crash recovery and run its
+        resumption effects."""
+        if isinstance(machine, NbTakeover):
+            self.takeovers[machine.tid] = machine
+        else:
+            self.machines[machine.tid] = machine
+        self.site.spawn(self._execute(machine, list(resume_effects)),
+                        "tranman.recovered")
+
+    def _queue_lazy(self, dst: str, message: Any) -> None:
+        if dst == self.site.name:
+            self.dgram.send(dst, message)
+            return
+        self._lazy.setdefault(dst, []).append(message)
+
+
+def _combine_votes(votes: List[Vote]) -> Vote:
+    if any(v is Vote.NO for v in votes):
+        return Vote.NO
+    if any(v is Vote.YES for v in votes):
+        return Vote.YES
+    return Vote.READ_ONLY
+
+
+def _wait_all(kernel: Kernel, events: List[SimEvent]
+              ) -> Generator[Any, Any, List[Any]]:
+    combined = all_of(kernel, events, name="tranman.votes")
+    results = yield Wait(combined)
+    return results

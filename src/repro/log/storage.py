@@ -1,0 +1,82 @@
+"""Stable storage: the part of a site that survives crashes.
+
+Sites lose all volatile state on crash (ports, process memory, buffered
+log tail); whatever was *flushed* to the :class:`StableStore` survives
+and is what recovery reads.  Records are stored in serialised (dict)
+form only — tests assert that nothing object-identical crosses the
+crash boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List
+
+from repro.log.records import LogRecord
+
+
+class StableStore:
+    """Append-only durable record store for one site's log."""
+
+    def __init__(self, site: str):
+        self.site = site
+        self._records: List[Dict[str, Any]] = []
+        self.appends = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, record: LogRecord) -> None:
+        if record.lsn is None:
+            raise ValueError("record must have an LSN before reaching disk")
+        self._records.append(record.to_dict())
+        self.appends += 1
+
+    def append_many(self, records: List[LogRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def records(self) -> Iterator[LogRecord]:
+        """Deserialise every durable record, in LSN order."""
+        for data in self._records:
+            yield LogRecord.from_dict(data)
+
+    def last_lsn(self) -> int:
+        """Highest durable LSN, or 0 when the log is empty."""
+        if not self._records:
+            return 0
+        return self._records[-1]["lsn"]
+
+    def truncate(self) -> None:
+        """Discard everything (fresh-disk scenarios in tests)."""
+        self._records.clear()
+
+    def truncate_before(self, lsn: int) -> int:
+        """Reclaim records with lsn < ``lsn`` (checkpointing).  Returns
+        how many records were dropped."""
+        before = len(self._records)
+        self._records = [r for r in self._records if r["lsn"] >= lsn]
+        return before - len(self._records)
+
+    def first_lsn(self) -> int:
+        """Lowest retained LSN, or 0 when empty."""
+        if not self._records:
+            return 0
+        return self._records[0]["lsn"]
+
+
+class StableStoreDirectory:
+    """All sites' stable stores, held outside any site so crashes cannot
+    touch them.  The system assembly layer owns one of these."""
+
+    def __init__(self) -> None:
+        self._stores: Dict[str, StableStore] = {}
+
+    def for_site(self, site: str) -> StableStore:
+        store = self._stores.get(site)
+        if store is None:
+            store = StableStore(site)
+            self._stores[site] = store
+        return store
+
+    def sites(self) -> List[str]:
+        return sorted(self._stores)

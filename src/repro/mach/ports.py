@@ -1,0 +1,68 @@
+"""Ports: named message queues owned by a site.
+
+A port is the only rendezvous in the system; all higher layers (RPC,
+servers, the transaction manager's request interface) receive through
+one.  Ports die when their site crashes — sends to a dead port raise at
+delivery time in the fabric (modelling the connection breakage a real
+NetMsgServer would report), and receivers are killed with their process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator
+
+from repro.mach.message import Message
+from repro.sim.kernel import Kernel
+from repro.sim.resources import Channel
+
+_port_ids = itertools.count(1)
+
+
+class DeadPortError(RuntimeError):
+    """Delivery attempted to a port whose owner has crashed."""
+
+
+class Port:
+    """A message queue bound to a site.
+
+    ``enqueue`` is the raw, zero-latency primitive used by the IPC fabric
+    after it has charged transfer latency; user code should send through
+    :class:`~repro.mach.ipc.IpcFabric`, never call ``enqueue`` directly.
+    """
+
+    def __init__(self, kernel: Kernel, site: str, name: str = ""):
+        self.kernel = kernel
+        self.site = site
+        self.port_id = next(_port_ids)
+        self.name = name or f"port{self.port_id}"
+        self.queue = Channel(kernel, name=f"{site}:{self.name}")
+        self.dead = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " DEAD" if self.dead else ""
+        return f"<Port {self.site}:{self.name}{flag}>"
+
+    def enqueue(self, msg: Message) -> None:
+        if self.dead:
+            raise DeadPortError(f"send to dead port {self!r}")
+        self.queue.put(msg)
+
+    def receive(self) -> Generator[Any, Any, Message]:
+        """Process-body coroutine: block until a message arrives."""
+        if self.dead:
+            raise DeadPortError(f"receive on dead port {self!r}")
+        msg = yield from self.queue.get()
+        return msg
+
+    def try_receive(self) -> tuple[bool, Message]:
+        return self.queue.try_get()
+
+    def destroy(self) -> list[Message]:
+        """Kill the port (site crash); returns and discards queued mail."""
+        self.dead = True
+        return self.queue.drain()
+
+    def revive(self) -> None:
+        """Bring the port back after site restart (fresh, empty queue)."""
+        self.dead = False

@@ -1,0 +1,93 @@
+"""Failure injection: scripted crashes, restarts, partitions, loss.
+
+Experiments and tests describe failure scenarios declaratively::
+
+    injector.crash_at(250.0, "site1")
+    injector.partition_at(300.0, [["site0"], ["site1", "site2"]])
+    injector.heal_at(900.0)
+    injector.restart_at(1200.0, "site1")
+
+Restart delegates to a caller-supplied hook (the system assembly layer
+re-spawns the Camelot processes and runs recovery); the injector only
+owns the schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.net.lan import Lan
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import Tracer
+
+
+class FailureInjector:
+    """Schedules failures against a LAN and a set of sites."""
+
+    def __init__(self, kernel: Kernel, lan: Lan, tracer: Tracer,
+                 restart_hook: Optional[Callable[[str], None]] = None):
+        self.kernel = kernel
+        self.lan = lan
+        self.tracer = tracer
+        self.restart_hook = restart_hook
+        self.log: List[tuple[float, str, Any]] = []
+
+    # ------------------------------------------------------ primitives
+
+    def crash(self, site_name: str) -> None:
+        site = self.lan.sites.get(site_name)
+        if site is None:
+            raise KeyError(f"unknown site {site_name!r}")
+        self.tracer.record(self.kernel.now, "fail.crash", site=site_name)
+        self.log.append((self.kernel.now, "crash", site_name))
+        site.crash()
+
+    def restart(self, site_name: str) -> None:
+        self.tracer.record(self.kernel.now, "fail.restart", site=site_name)
+        self.log.append((self.kernel.now, "restart", site_name))
+        if self.restart_hook is None:
+            site = self.lan.sites.get(site_name)
+            if site is not None:
+                site.restart()
+        else:
+            self.restart_hook(site_name)
+
+    def partition(self, groups: Sequence[Sequence[str]]) -> None:
+        self.tracer.record(self.kernel.now, "fail.partition",
+                           groups=[list(g) for g in groups])
+        self.log.append((self.kernel.now, "partition", [list(g) for g in groups]))
+        self.lan.partition(groups)
+
+    def heal(self) -> None:
+        self.tracer.record(self.kernel.now, "fail.heal")
+        self.log.append((self.kernel.now, "heal", None))
+        self.lan.heal()
+
+    def set_loss(self, probability: float) -> None:
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        self.log.append((self.kernel.now, "loss", probability))
+        self.lan.loss_probability = probability
+
+    # -------------------------------------------------------- schedule
+
+    def crash_at(self, time: float, site_name: str) -> None:
+        self._at(time, self.crash, site_name)
+
+    def restart_at(self, time: float, site_name: str) -> None:
+        self._at(time, self.restart, site_name)
+
+    def partition_at(self, time: float, groups: Sequence[Sequence[str]]) -> None:
+        self._at(time, self.partition, groups)
+
+    def heal_at(self, time: float) -> None:
+        self._at(time, self.heal)
+
+    def set_loss_at(self, time: float, probability: float) -> None:
+        self._at(time, self.set_loss, probability)
+
+    def _at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        delay = time - self.kernel.now
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (t={time}, now={self.kernel.now})")
+        self.kernel.schedule(delay, fn, *args)

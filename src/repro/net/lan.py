@@ -1,0 +1,192 @@
+"""Token-ring LAN model.
+
+Transit time for a datagram is::
+
+    send-cycle serialization  +  base latency  +  jitter(load)
+
+- **Serialization**: a site's network interface emits one datagram per
+  ``datagram_send_cycle`` (1.7 ms measured); back-to-back sends queue.
+  This is why the paper's third prepare message leaves ~3.4 ms after the
+  first, and one of the two reasons "parallel" phases are not parallel.
+- **Jitter**: exponential with mean ``jitter_base + jitter_per_load *
+  in_flight``; variance therefore grows with instantaneous network load,
+  reproducing the paper's "variance rises with network load" observation.
+- **Multicast**: one send cycle regardless of fan-out, and one shared
+  jitter draw for the whole group — receivers see nearly simultaneous,
+  highly correlated arrivals.  This is what cuts the variance of the
+  slowest-subordinate time without changing the mean much.
+
+Failure model: fail-stop site crashes (delivery checks the destination's
+liveness at arrival time) and clean partitions (site groups; messages
+crossing a group boundary are silently dropped, as on a real LAN where
+the bridge went away).  Optional uniform message loss exercises the
+protocols' retry paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.config import CostModel
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngStreams
+from repro.sim.tracing import Tracer
+
+DeliverFn = Callable[[Any], None]
+
+
+class Lan:
+    """The shared medium connecting all sites."""
+
+    def __init__(self, kernel: Kernel, cost: CostModel, rng: RngStreams,
+                 tracer: Tracer):
+        self.kernel = kernel
+        self.cost = cost
+        self.rng = rng
+        self.tracer = tracer
+        # site name -> object with .alive (registered by system assembly)
+        self.sites: Dict[str, Any] = {}
+        # site name -> partition group id (all zero = fully connected)
+        self._group: Dict[str, int] = {}
+        # site name -> time its NIC is next free to start a send
+        self._nic_free: Dict[str, float] = {}
+        self.in_flight = 0
+        self.loss_probability = 0.0
+        self.delivered = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------ membership
+
+    def register_site(self, name: str, site: Any) -> None:
+        self.sites[name] = site
+        self._group.setdefault(name, 0)
+        self._nic_free.setdefault(name, 0.0)
+
+    def site_alive(self, name: str) -> bool:
+        entry = self.sites.get(name)
+        return entry is None or getattr(entry, "alive", True)
+
+    # ------------------------------------------------------- partitions
+
+    def partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Split the network into isolated groups of sites.
+
+        Sites not named in any group remain in group 0 together.
+        """
+        self._group = {name: 0 for name in self._group}
+        for gid, members in enumerate(groups, start=1):
+            for name in members:
+                self._group[name] = gid
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._group = {name: 0 for name in self._group}
+
+    def reachable(self, src: str, dst: str) -> bool:
+        return self._group.get(src, 0) == self._group.get(dst, 0)
+
+    # ----------------------------------------------------- transmission
+
+    def _jitter(self) -> float:
+        """Receive-side jitter: grows with instantaneous network load."""
+        mean = (self.cost.datagram_jitter_base
+                + self.cost.datagram_jitter_per_load * self.in_flight)
+        if mean <= 0:
+            return 0.0
+        return self.rng.stream("lan.jitter").expovariate(1.0 / mean)
+
+    def _send_jitter(self, backlog: float) -> float:
+        """Sender-side scheduling jitter: paid per send *event* (once per
+        multicast group), the dominant variance term the paper isolates.
+
+        Repeated sends hurt superlinearly: every send already queued at
+        the NIC multiplies the scheduling-jitter mean — "much of the
+        variance is created by the coordinator's repeated sends and not
+        by its repeated receives ... may be due to operating system
+        scheduling policies" (paper §4.2).
+        """
+        mean = self.cost.datagram_send_jitter * (1.0 + backlog)
+        if mean <= 0:
+            return 0.0
+        return self.rng.stream("lan.sendsched").expovariate(1.0 / mean)
+
+    def _lost(self) -> bool:
+        if self.loss_probability <= 0:
+            return False
+        return self.rng.stream("lan.loss").random() < self.loss_probability
+
+    def _serialize_send(self, src: str, cycle: float) -> float:
+        """Reserve the sender NIC; returns the wire-entry delay from now.
+
+        Each send event pays the fixed cycle plus a scheduling jitter
+        draw; back-to-back sends queue behind each other, so a
+        coordinator's third prepare leaves well after its first.
+        """
+        now = self.kernel.now
+        start = max(now, self._nic_free.get(src, 0.0))
+        backlog = (start - now) / cycle if cycle > 0 else 0.0
+        occupancy = cycle + self._send_jitter(backlog)
+        self._nic_free[src] = start + occupancy
+        return (start + occupancy) - now
+
+    def unicast(self, src: str, dst: str, payload: Any, deliver: DeliverFn,
+                latency_override: Optional[float] = None) -> None:
+        """Send one datagram; ``deliver(payload)`` runs at arrival.
+
+        ``latency_override`` replaces base+jitter (used by the
+        NetMsgServer leg whose 19.1 ms round trip the paper measured as
+        one opaque number); serialization and partition/crash checks
+        still apply.
+        """
+        if not self.site_alive(src):
+            self.dropped += 1
+            return
+        send_delay = self._serialize_send(src, self.cost.datagram_send_cycle)
+        if latency_override is not None:
+            transit = latency_override
+        else:
+            # The paper's 10 ms datagram primitive includes the send
+            # cycle; keep (cycle + transit) == datagram when uncontended.
+            transit = (max(0.0, self.cost.datagram - self.cost.datagram_send_cycle)
+                       + self._jitter())
+        self.tracer.record(self.kernel.now, "net.datagram", site=src, dst=dst)
+        if self._lost():
+            self.dropped += 1
+            self.tracer.record(self.kernel.now, "net.lost", site=src, dst=dst)
+            return
+        self.in_flight += 1
+        self.kernel.schedule(send_delay + transit, self._arrive, src, dst,
+                             payload, deliver)
+
+    def multicast(self, src: str, dsts: Sequence[str], payload_for: Callable[[str], Any],
+                  deliver_for: Callable[[str], DeliverFn]) -> None:
+        """Send to every destination with one send cycle and one jitter draw.
+
+        ``payload_for(dst)`` and ``deliver_for(dst)`` let the caller
+        customise per-destination payloads while sharing the transmission.
+        """
+        if not self.site_alive(src):
+            self.dropped += len(dsts)
+            return
+        send_delay = self._serialize_send(src, self.cost.multicast_send_cycle)
+        transit = (max(0.0, self.cost.datagram - self.cost.multicast_send_cycle)
+                   + self._jitter())
+        self.tracer.record(self.kernel.now, "net.multicast", site=src,
+                           fanout=len(dsts))
+        for dst in dsts:
+            if self._lost():
+                self.dropped += 1
+                self.tracer.record(self.kernel.now, "net.lost", site=src, dst=dst)
+                continue
+            self.in_flight += 1
+            self.kernel.schedule(send_delay + transit, self._arrive, src, dst,
+                                 payload_for(dst), deliver_for(dst))
+
+    def _arrive(self, src: str, dst: str, payload: Any, deliver: DeliverFn) -> None:
+        self.in_flight -= 1
+        if not self.reachable(src, dst) or not self.site_alive(dst):
+            self.dropped += 1
+            self.tracer.record(self.kernel.now, "net.unreachable", site=src, dst=dst)
+            return
+        self.delivered += 1
+        deliver(payload)

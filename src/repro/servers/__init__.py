@@ -1,0 +1,26 @@
+"""The Camelot process suite around the transaction manager.
+
+Every computer running a data server also runs one instance of each of
+four system processes (paper §2); this package implements them plus the
+server/application layer:
+
+- :mod:`repro.servers.diskman` — the disk manager: buffer/pageout
+  control for servers' data segments, and the single point of access to
+  the write-ahead log (with group commit).
+- :mod:`repro.servers.comman` — the communication manager: forwards
+  inter-site RPCs and *spies* on responses to track which transactions
+  travelled to which sites.
+- :mod:`repro.servers.recovery` — the recovery process: after a failure
+  it reads the log and reconstructs server data and in-doubt protocol
+  state.
+- :mod:`repro.servers.lockmgr` — shared/exclusive locking with
+  Moss-model family rules (runtime-library functionality in Camelot).
+- :mod:`repro.servers.dataserver` — data servers: objects, operations,
+  join-transaction, prepare/commit/abort/undo participation.
+- :mod:`repro.servers.application` — application processes driving
+  transactions through the public API.
+"""
+
+from repro.servers.lockmgr import LockManager, LockMode
+
+__all__ = ["LockManager", "LockMode"]

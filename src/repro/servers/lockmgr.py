@@ -1,0 +1,234 @@
+"""Shared/exclusive locking with Moss-model nested-transaction rules.
+
+Camelot's runtime library provides shared/exclusive mode locking;
+servers "must serialize access to [their] data by locking" (paper §2).
+With nested transactions the classic Moss rules apply:
+
+- A transaction may acquire a READ lock if every holder of a WRITE lock
+  on the object is an ancestor (or itself).
+- A transaction may acquire a WRITE lock if every holder or retainer of
+  any lock on the object is an ancestor (or itself).
+- When a subtransaction commits, its parent *retains* its locks (lock
+  inheritance).  When a subtransaction aborts, its locks vanish.
+- When the top-level transaction commits or aborts, the whole family's
+  locks are released.
+
+The manager is a pure data structure (no simulator dependency): grants
+are immediate or queued, and queued grants fire a callback when ready —
+the data server bridges callbacks onto simulation events, and unit
+tests call it directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+from repro.core.tid import TID
+
+
+class LockMode(str, Enum):
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _compatible_with_all(requester: TID, others: Set[TID]) -> bool:
+    """Moss compatibility: every conflicting party must be an ancestor of
+    (or equal to) the requester."""
+    return all(other == requester or other.is_ancestor_of(requester)
+               for other in others)
+
+
+@dataclass
+class _Waiter:
+    tid: TID
+    mode: LockMode
+    callback: Callable[[], None]
+
+
+@dataclass
+class _LockEntry:
+    """Lock state for one object."""
+
+    holders: Dict[TID, LockMode] = field(default_factory=dict)
+    retainers: Dict[TID, LockMode] = field(default_factory=dict)
+    queue: Deque[_Waiter] = field(default_factory=deque)
+
+    def writers(self) -> Set[TID]:
+        return ({t for t, m in self.holders.items() if m is LockMode.WRITE}
+                | {t for t, m in self.retainers.items() if m is LockMode.WRITE})
+
+    def all_parties(self) -> Set[TID]:
+        return set(self.holders) | set(self.retainers)
+
+    @property
+    def idle(self) -> bool:
+        return not self.holders and not self.retainers and not self.queue
+
+
+class LockManager:
+    """All lock state for one data server."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[str, _LockEntry] = {}
+        self.grants = 0
+        self.waits = 0
+
+    # -------------------------------------------------------- acquiring
+
+    def can_grant(self, obj: str, tid: TID, mode: LockMode) -> bool:
+        entry = self._locks.get(obj)
+        if entry is None:
+            return True
+        if mode is LockMode.READ:
+            return _compatible_with_all(tid, entry.writers())
+        return _compatible_with_all(tid, entry.all_parties())
+
+    def acquire(self, obj: str, tid: TID, mode: LockMode,
+                on_grant: Optional[Callable[[], None]] = None) -> bool:
+        """Try to lock ``obj``; returns True on immediate grant.
+
+        On False the request is queued and ``on_grant`` fires when the
+        lock is eventually granted (FIFO, after compatibility).
+        """
+        entry = self._locks.setdefault(obj, _LockEntry())
+        compatible = self.can_grant(obj, tid, mode)
+        if compatible and not entry.queue:
+            self._grant(entry, tid, mode)
+            return True
+        # Family fast-path: when an ancestor already holds or retains the
+        # lock, the request must not queue behind unrelated waiters — a
+        # child waiting behind a stranger who waits on the parent would
+        # deadlock the family.
+        if compatible and any(p.family == tid.family
+                              for p in entry.all_parties()):
+            self._grant(entry, tid, mode)
+            return True
+        # Re-requests by a holder for a weaker-or-equal mode succeed at
+        # once (idempotent re-locking is common in retries).
+        held = entry.holders.get(tid)
+        if held is not None and (held is LockMode.WRITE or mode is LockMode.READ):
+            self.grants += 1
+            return True
+        if on_grant is None:
+            raise WouldBlock(f"{tid} must wait for {mode} lock on {obj!r}")
+        self.waits += 1
+        entry.queue.append(_Waiter(tid, mode, on_grant))
+        return False
+
+    def _grant(self, entry: _LockEntry, tid: TID, mode: LockMode) -> None:
+        current = entry.holders.get(tid)
+        if current is None or (current is LockMode.READ and mode is LockMode.WRITE):
+            entry.holders[tid] = mode
+        self.grants += 1
+
+    def cancel_wait(self, obj: str, tid: TID) -> bool:
+        """Remove ``tid``'s queued requests on ``obj`` (lock-wait timeout
+        gave up).  Returns True if anything was cancelled."""
+        entry = self._locks.get(obj)
+        if entry is None:
+            return False
+        before = len(entry.queue)
+        entry.queue = deque(w for w in entry.queue if w.tid != tid)
+        cancelled = len(entry.queue) != before
+        if cancelled:
+            self._pump(obj)
+        return cancelled
+
+    def _pump(self, obj: str) -> None:
+        """Grant queued requests that are now compatible, FIFO."""
+        entry = self._locks.get(obj)
+        if entry is None:
+            return
+        while entry.queue:
+            waiter = entry.queue[0]
+            if not self.can_grant(obj, waiter.tid, waiter.mode):
+                break
+            entry.queue.popleft()
+            self._grant(entry, waiter.tid, waiter.mode)
+            waiter.callback()
+        if entry.idle:
+            del self._locks[obj]
+
+    # -------------------------------------------------- ends of txns
+
+    def commit_child(self, child: TID) -> None:
+        """Moss inheritance: the parent retains the child's locks."""
+        parent = child.parent
+        if parent is None:
+            raise ValueError("commit_child on a top-level transaction")
+        for obj in list(self._locks):
+            entry = self._locks[obj]
+            self._inherit(entry, child, parent)
+            self._pump(obj)
+
+    def _inherit(self, entry: _LockEntry, child: TID, parent: TID) -> None:
+        for table in (entry.holders, entry.retainers):
+            mode = table.pop(child, None)
+            if mode is None:
+                continue
+            existing = entry.retainers.get(parent)
+            if existing is None or (existing is LockMode.READ
+                                    and mode is LockMode.WRITE):
+                entry.retainers[parent] = mode
+
+    def abort_subtree(self, tid: TID) -> None:
+        """Drop every lock held/retained by ``tid`` or its descendants."""
+        for obj in list(self._locks):
+            entry = self._locks[obj]
+            for table in (entry.holders, entry.retainers):
+                stale = [t for t in table
+                         if t == tid or tid.is_ancestor_of(t)]
+                for t in stale:
+                    del table[t]
+            entry.queue = deque(w for w in entry.queue
+                                if not (w.tid == tid
+                                        or tid.is_ancestor_of(w.tid)))
+            self._pump(obj)
+
+    def release_family(self, family: str) -> None:
+        """Top-level commit/abort: the whole family's locks go away."""
+        for obj in list(self._locks):
+            entry = self._locks[obj]
+            for table in (entry.holders, entry.retainers):
+                stale = [t for t in table if t.family == family]
+                for t in stale:
+                    del table[t]
+            entry.queue = deque(w for w in entry.queue
+                                if w.tid.family != family)
+            self._pump(obj)
+
+    # ------------------------------------------------------- inspection
+
+    def holders_of(self, obj: str) -> Dict[TID, LockMode]:
+        entry = self._locks.get(obj)
+        return dict(entry.holders) if entry else {}
+
+    def retainers_of(self, obj: str) -> Dict[TID, LockMode]:
+        entry = self._locks.get(obj)
+        return dict(entry.retainers) if entry else {}
+
+    def waiting_on(self, obj: str) -> List[TID]:
+        entry = self._locks.get(obj)
+        return [w.tid for w in entry.queue] if entry else []
+
+    def locked_objects(self) -> List[str]:
+        return sorted(self._locks)
+
+    def holds(self, obj: str, tid: TID, mode: Optional[LockMode] = None) -> bool:
+        held = self._locks.get(obj)
+        if held is None:
+            return False
+        got = held.holders.get(tid)
+        if got is None:
+            return False
+        return mode is None or got is mode or got is LockMode.WRITE
+
+
+class WouldBlock(RuntimeError):
+    """acquire() without a callback would have had to wait."""

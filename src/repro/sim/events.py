@@ -1,0 +1,115 @@
+"""One-shot triggerable events for process synchronisation.
+
+A :class:`SimEvent` starts untriggered; processes that ``yield Wait(ev)``
+suspend until someone calls :meth:`SimEvent.trigger`.  The trigger value
+is delivered as the result of the ``yield``.  Triggering is scheduled via
+the kernel (not delivered inline), so waiters always resume in a fresh
+event-loop turn — the same discipline asyncio uses to avoid reentrancy
+surprises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import Kernel, SimulationError
+
+
+class SimEvent:
+    """A one-shot event carrying an optional value.
+
+    Waiting on an already-triggered event completes immediately (next
+    kernel turn) with the stored value.  Triggering twice is an error
+    unless ``ignore_retrigger`` was set — protocol timers sometimes race
+    with completion and want the second trigger to be a no-op.
+    """
+
+    __slots__ = ("_kernel", "_callbacks", "triggered", "value", "name", "_ignore_retrigger")
+
+    def __init__(self, kernel: Kernel, name: str = "", ignore_retrigger: bool = False):
+        self._kernel = kernel
+        self._callbacks: list[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+        self.name = name
+        self._ignore_retrigger = ignore_retrigger
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<SimEvent {self.name or hex(id(self))} {state}>"
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None:
+        """Register ``fn(value)`` to run when (or if already) triggered."""
+        if self.triggered:
+            self._kernel.call_soon(fn, self.value)
+        else:
+            self._callbacks.append(fn)
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking all current and future waiters."""
+        if self.triggered:
+            if self._ignore_retrigger:
+                return
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._kernel.call_soon(fn, value)
+
+
+def all_of(kernel: Kernel, events: list[SimEvent], name: str = "all_of") -> SimEvent:
+    """Return an event that triggers once every event in ``events`` has.
+
+    The combined value is the list of individual values, in input order.
+    An empty list triggers immediately.
+    """
+    combined = SimEvent(kernel, name=name)
+    remaining = len(events)
+    values: list[Any] = [None] * len(events)
+    if remaining == 0:
+        combined.trigger([])
+        return combined
+
+    def make_cb(index: int) -> Callable[[Any], None]:
+        def cb(value: Any) -> None:
+            nonlocal remaining
+            values[index] = value
+            remaining -= 1
+            if remaining == 0:
+                combined.trigger(values)
+
+        return cb
+
+    for i, ev in enumerate(events):
+        ev.add_callback(make_cb(i))
+    return combined
+
+
+def any_of(kernel: Kernel, events: list[SimEvent], name: str = "any_of") -> SimEvent:
+    """Return an event that triggers when the first of ``events`` does.
+
+    The combined value is ``(index, value)`` of the winner.  Later
+    triggers are ignored.
+    """
+    if not events:
+        raise SimulationError("any_of() needs at least one event")
+    combined = SimEvent(kernel, name=name, ignore_retrigger=True)
+
+    def make_cb(index: int) -> Callable[[Any], None]:
+        def cb(value: Any) -> None:
+            combined.trigger((index, value))
+
+        return cb
+
+    for i, ev in enumerate(events):
+        ev.add_callback(make_cb(i))
+    return combined
+
+
+def timeout_event(kernel: Kernel, delay: float, value: Any = None,
+                  name: str = "timeout") -> SimEvent:
+    """An event that self-triggers ``delay`` from now."""
+    ev = SimEvent(kernel, name=name)
+    kernel.schedule(delay, ev.trigger, value)
+    return ev

@@ -1,0 +1,151 @@
+"""The discrete-event kernel: a clock plus a pending-event heap.
+
+The kernel is deliberately tiny.  It knows nothing about transactions,
+messages, or CPUs; it only orders callbacks in virtual time.  Richer
+abstractions (generator processes, locks, channels) are layered on top in
+sibling modules.
+
+Determinism: events scheduled for the same instant fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so a
+simulation with a fixed RNG seed is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (negative delays, running a dead kernel)."""
+
+
+class _ScheduledCall:
+    """A pending callback; comparison orders the heap.
+
+    ``cancelled`` implements O(1) timer cancellation: the entry stays in
+    the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "_ScheduledCall") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Timer:
+    """Handle returned by :meth:`Kernel.schedule`; supports cancellation."""
+
+    __slots__ = ("_call",)
+
+    def __init__(self, call: _ScheduledCall):
+        self._call = call
+
+    @property
+    def time(self) -> float:
+        """Virtual time at which the callback fires (or would have)."""
+        return self._call.time
+
+    @property
+    def active(self) -> bool:
+        """True while the callback has neither fired nor been cancelled."""
+        return not self._call.cancelled and self._call.fn is not None
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self._call.cancelled = True
+
+
+class Kernel:
+    """Event loop owning virtual time.
+
+    Usage::
+
+        k = Kernel()
+        k.schedule(5.0, print, "fires at t=5")
+        k.run()
+        assert k.now == 5.0
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[_ScheduledCall] = []
+        self._running = False
+        self._live_processes = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (milliseconds by convention in repro)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled scheduled calls."""
+        return sum(1 for call in self._heap if not call.cancelled)
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        call = _ScheduledCall(self._now + delay, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, call)
+        return Timer(call)
+
+    def call_soon(self, fn: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at the current instant (after current event)."""
+        return self.schedule(0.0, fn, *args)
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if none remained."""
+        while self._heap:
+            call = heapq.heappop(self._heap)
+            if call.cancelled:
+                continue
+            if call.time < self._now:
+                raise SimulationError("event heap time went backwards")
+            self._now = call.time
+            fn, args = call.fn, call.args
+            call.fn = None  # mark fired for Timer.active
+            call.args = ()
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the heap drains, ``until`` passes, or the budget ends.
+
+        ``until`` is an absolute virtual time: the clock is advanced to it
+        even if the last event fires earlier, matching the usual
+        "run for this long" semantics of simulation frameworks.
+        """
+        if self._running:
+            raise SimulationError("kernel is already running (reentrant run())")
+        self._running = True
+        events = 0
+        try:
+            while self._heap:
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    break
+                if max_events is not None and events >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+                self.step()
+                events += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until

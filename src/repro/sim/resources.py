@@ -1,0 +1,196 @@
+"""Synchronisation resources for simulated processes.
+
+All of these are *cooperative* (they exist in virtual time, not real
+threads) and FIFO-fair, which keeps simulations deterministic.
+
+Usage from a process body::
+
+    yield from lock.acquire(owner="me")
+    ...critical section...
+    lock.release()
+
+    item = yield from channel.get()
+    channel.put(item)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.sim.events import SimEvent
+from repro.sim.kernel import Kernel, SimulationError
+from repro.sim.process import Wait
+
+
+class SimLock:
+    """A purely exclusive FIFO lock (the paper's C-Threads mutex).
+
+    Like C-Threads' spin lock, it is *not* reentrant: a holder that
+    re-acquires deadlocks (here: raises, because a simulated self-deadlock
+    would otherwise just hang the event loop silently).
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "lock"):
+        self._kernel = kernel
+        self.name = name
+        self._holder: Optional[Any] = None
+        self._waiters: Deque[tuple[SimEvent, Any]] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._holder is not None
+
+    @property
+    def holder(self) -> Optional[Any]:
+        return self._holder
+
+    def acquire(self, owner: Any = None) -> Generator[Any, Any, None]:
+        """Process-body coroutine: block until the lock is ours."""
+        if owner is not None and self._holder is owner:
+            raise SimulationError(
+                f"self-deadlock: {owner!r} re-acquiring lock {self.name!r}"
+            )
+        if self._holder is None and not self._waiters:
+            self._holder = owner if owner is not None else object()
+            return
+        ev = SimEvent(self._kernel, name=f"{self.name}.acquire")
+        self._waiters.append((ev, owner))
+        yield Wait(ev)
+
+    def try_acquire(self, owner: Any = None) -> bool:
+        """Non-blocking acquire; True on success."""
+        if self._holder is None and not self._waiters:
+            self._holder = owner if owner is not None else object()
+            return True
+        return False
+
+    def release(self) -> None:
+        if self._holder is None:
+            raise SimulationError(f"release of unheld lock {self.name!r}")
+        if self._waiters:
+            ev, owner = self._waiters.popleft()
+            self._holder = owner if owner is not None else object()
+            ev.trigger(None)
+        else:
+            self._holder = None
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup."""
+
+    def __init__(self, kernel: Kernel, value: int = 0, name: str = "sem"):
+        if value < 0:
+            raise SimulationError("semaphore initial value must be >= 0")
+        self._kernel = kernel
+        self.name = name
+        self._value = value
+        self._waiters: Deque[SimEvent] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def up(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._waiters:
+                self._waiters.popleft().trigger(None)
+            else:
+                self._value += 1
+
+    def down(self) -> Generator[Any, Any, None]:
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            return
+        ev = SimEvent(self._kernel, name=f"{self.name}.down")
+        self._waiters.append(ev)
+        yield Wait(ev)
+
+
+class Channel:
+    """An unbounded FIFO queue of items; the workhorse for message ports.
+
+    ``put`` never blocks.  ``get`` blocks until an item is available.
+    Items queued while several getters wait are handed out FIFO-to-FIFO.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "chan"):
+        self._kernel = kernel
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def put_front(self, item: Any) -> None:
+        """Requeue an item at the head (used for message requeueing)."""
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.appendleft(item)
+
+    def get(self) -> Generator[Any, Any, Any]:
+        if self._items:
+            return self._items.popleft()
+        ev = SimEvent(self._kernel, name=f"{self.name}.get")
+        self._getters.append(ev)
+        item = yield Wait(ev)
+        return item
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns (ok, item)."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def drain(self) -> list[Any]:
+        """Remove and return all queued items (crash cleanup)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class Condition:
+    """Condition variable in the C-Threads style (used by rw-lock).
+
+    ``wait`` releases the associated :class:`SimLock`, suspends, and
+    re-acquires it before returning.  ``signal`` wakes one waiter,
+    ``broadcast`` wakes all.
+    """
+
+    def __init__(self, kernel: Kernel, lock: SimLock, name: str = "cond"):
+        self._kernel = kernel
+        self._lock = lock
+        self.name = name
+        self._waiters: Deque[SimEvent] = deque()
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def wait(self, owner: Any = None) -> Generator[Any, Any, None]:
+        ev = SimEvent(self._kernel, name=f"{self.name}.wait")
+        self._waiters.append(ev)
+        self._lock.release()
+        yield Wait(ev)
+        yield from self._lock.acquire(owner=owner)
+
+    def signal(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().trigger(None)
+
+    def broadcast(self) -> None:
+        waiters, self._waiters = self._waiters, deque()
+        for ev in waiters:
+            ev.trigger(None)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CostModel, SystemConfig, rt_pc_profile
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.sim.rng import RngStreams
+from repro.sim.tracing import Tracer
+from repro.system import CamelotSystem
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel()
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer()
+
+
+@pytest.fixture
+def cost() -> CostModel:
+    return rt_pc_profile()
+
+
+@pytest.fixture
+def rng() -> RngStreams:
+    return RngStreams(0)
+
+
+def run_proc(kernel: Kernel, body, timeout_ms: float = 120_000.0):
+    """Run a generator to completion on a kernel; return its value."""
+    proc = Process(kernel, body, name="test-proc")
+    deadline = kernel.now + timeout_ms
+    while proc.alive and kernel.now < deadline:
+        if not kernel.step():
+            break
+    assert not proc.alive, "test process did not finish"
+    return proc.done.value
+
+
+@pytest.fixture
+def two_sites() -> CamelotSystem:
+    return CamelotSystem(SystemConfig(sites={"a": 1, "b": 1}))
+
+
+@pytest.fixture
+def three_sites() -> CamelotSystem:
+    return CamelotSystem(SystemConfig(sites={"a": 1, "b": 1, "c": 1}))

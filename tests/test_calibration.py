@@ -1,0 +1,54 @@
+"""Calibration pins: the headline paper numbers, as fast regression
+guards.
+
+The benchmarks assert these thoroughly with larger trial counts; these
+smaller copies run with the unit suite so a calibration-breaking change
+fails in seconds, not only when the benchmark suite runs.
+"""
+
+import pytest
+
+from repro.bench.experiment import measure_latency
+from repro.core.outcomes import ProtocolKind
+
+
+@pytest.fixture(scope="module")
+def anchors():
+    """One shared measurement pass for all pins (trials kept small)."""
+    return {
+        "local_update": measure_latency(0, trials=8),
+        "one_sub_update": measure_latency(1, trials=8),
+        "local_read": measure_latency(0, op="read", trials=8),
+        "one_sub_nb": measure_latency(1, protocol=ProtocolKind.NON_BLOCKING,
+                                      trials=8),
+    }
+
+
+def test_local_update_near_paper_31ms(anchors):
+    assert 23.0 <= anchors["local_update"].summary.mean <= 40.0
+
+
+def test_one_sub_update_near_paper_110ms(anchors):
+    assert 90.0 <= anchors["one_sub_update"].summary.mean <= 135.0
+
+
+def test_local_read_near_paper_13ms(anchors):
+    assert 8.0 <= anchors["local_read"].summary.mean <= 17.0
+
+
+def test_nb_premium_under_two(anchors):
+    ratio = (anchors["one_sub_nb"].summary.mean
+             / anchors["one_sub_update"].summary.mean)
+    assert 1.15 <= ratio <= 2.0
+
+
+def test_force_and_datagram_counts(anchors):
+    assert anchors["one_sub_update"].forces_per_txn == 2.0
+    assert anchors["one_sub_update"].datagrams_per_txn == 3.0
+    assert anchors["one_sub_nb"].forces_per_txn == 4.0
+    assert anchors["local_read"].forces_per_txn == 0.0
+
+
+def test_read_write_gap(anchors):
+    assert (anchors["local_read"].summary.mean
+            < anchors["local_update"].summary.mean - 10.0)

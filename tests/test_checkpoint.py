@@ -1,0 +1,224 @@
+"""Checkpointing and log truncation."""
+
+import pytest
+
+from repro import CamelotSystem, Outcome, SystemConfig, TID
+from repro.log.records import RecordKind
+from repro.log.storage import StableStore
+from repro.servers.recovery import analyze
+
+
+def commit_txn(system, app, obj, value, service="server0@a"):
+    def workload():
+        tid = yield from app.begin()
+        yield from app.write(tid, service, obj, value)
+        outcome = yield from app.commit(tid)
+        return outcome
+
+    assert system.run_process(workload()) is Outcome.COMMITTED
+
+
+def take_checkpoint(system, site="a"):
+    rt = system.runtime(site)
+
+    def body():
+        reclaimed = yield from rt.diskman.checkpoint(
+            rt.servers, tombstones=rt.tranman.tombstones)
+        return reclaimed
+
+    return system.run_process(body())
+
+
+# ----------------------------------------------------------- storage
+
+
+def test_truncate_before_reclaims_prefix():
+    store = StableStore("a")
+    from repro.log.records import commit_record
+
+    for i in range(1, 6):
+        rec = commit_record(f"T{i}@a", "a")
+        rec.lsn = i
+        store.append(rec)
+    assert store.truncate_before(3) == 2
+    assert store.first_lsn() == 3
+    assert len(store) == 3
+
+
+# ------------------------------------------------------- checkpointing
+
+
+def test_checkpoint_reclaims_committed_history():
+    system = CamelotSystem(SystemConfig(sites={"a": 1}))
+    app = system.application("a")
+    for i in range(5):
+        commit_txn(system, app, f"k{i}", i)
+    system.run_for(500.0)  # lazy records flushed
+    store = system.stores.for_site("a")
+    before = len(store)
+    reclaimed = take_checkpoint(system)
+    assert reclaimed > 0
+    assert len(store) < before
+    kinds = [r.kind for r in store.records()]
+    assert RecordKind.CHECKPOINT in kinds
+
+
+def test_checkpoint_preserves_active_transactions_history():
+    """The log is only reclaimed up to the oldest active transaction's
+    first record, so in-flight work survives the checkpoint."""
+    system = CamelotSystem(SystemConfig(sites={"a": 1}))
+    app = system.application("a")
+    commit_txn(system, app, "old", 1)
+    state = {}
+
+    def open_txn():
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@a", "pending", 9)
+        state["tid"] = tid
+
+    system.run_process(open_txn())
+    system.run_for(500.0)
+    take_checkpoint(system)
+    store = system.stores.for_site("a")
+    update_tids = [r.tid for r in store.records()
+                   if r.kind is RecordKind.UPDATE]
+    assert str(state["tid"]) in update_tids  # active history retained
+
+    # And the open transaction can still commit afterwards.
+    def finish():
+        outcome = yield from app.commit(state["tid"])
+        return outcome
+
+    assert system.run_process(finish()) is Outcome.COMMITTED
+
+
+def test_committed_view_excludes_uncommitted_writes():
+    system = CamelotSystem(SystemConfig(sites={"a": 1}),
+                           initial_objects={"server0@a": {"x": 1}})
+    app = system.application("a")
+
+    def open_txn():
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@a", "x", 99)
+        yield from app.write(tid, "server0@a", "fresh", 5)
+
+    system.run_process(open_txn())
+    view = system.server("server0@a").committed_view()
+    assert view == {"x": 1}  # uncommitted x=99 and fresh=5 backed out
+
+
+# ------------------------------------------- recovery from a checkpoint
+
+
+def test_recovery_from_checkpoint_restores_values():
+    system = CamelotSystem(SystemConfig(sites={"a": 1}))
+    app = system.application("a")
+    for i in range(4):
+        commit_txn(system, app, f"k{i}", i * 10)
+    system.run_for(500.0)
+    take_checkpoint(system)
+    # More work after the checkpoint.
+    commit_txn(system, app, "post", 77)
+    system.run_for(500.0)
+    system.crash_site("a")
+    system.restart_site("a")
+    system.run_for(1_000.0)
+    server = system.server("server0@a")
+    for i in range(4):
+        assert server.peek(f"k{i}") == i * 10  # from the checkpoint base
+    assert server.peek("post") == 77           # from the redo pass
+
+
+def test_recovery_checkpoint_plus_in_doubt():
+    """A distributed transaction in flight across a checkpoint still
+    resolves correctly after a crash."""
+    system = CamelotSystem(SystemConfig(sites={"a": 1, "b": 1}))
+    app = system.application("a")
+    commit_txn(system, app, "base", 1, service="server0@b")
+    system.run_for(500.0)
+    take_checkpoint(system, site="b")
+
+    state = {}
+
+    def workload():
+        tid = yield from app.begin()
+        state["tid"] = str(tid)
+        yield from app.write(tid, "server0@a", "x", 2)
+        yield from app.write(tid, "server0@b", "x", 3)
+        outcome = yield from app.commit(tid)
+        state["outcome"] = outcome
+
+    system.spawn(workload(), name="txn")
+    # Crash b just after it votes (commit record still volatile).
+    system.failures.crash_at(system.kernel.now + 118.0, "b")
+    system.failures.restart_at(system.kernel.now + 4_000.0, "b")
+    system.run_for(60_000.0)
+    if state.get("outcome") is Outcome.COMMITTED:
+        assert system.server("server0@b").peek("x") == 3
+    assert system.server("server0@b").peek("base") == 1
+
+
+def test_analyze_uses_last_checkpoint():
+    from repro.log.records import checkpoint_record, commit_record
+
+    records = []
+    ck1 = checkpoint_record("a", {"s": {"x": 1}}, 0)
+    ck2 = checkpoint_record("a", {"s": {"x": 2}}, 0)
+    for i, rec in enumerate([ck1, ck2], start=1):
+        rec.lsn = i
+        records.append(rec)
+    plan = analyze("a", records)
+    assert plan.base_values == {"s": {"x": 2}}
+
+
+def test_checkpoint_with_no_history_reclaims_nothing_new():
+    system = CamelotSystem(SystemConfig(sites={"a": 1}))
+    first = take_checkpoint(system)
+    assert first == 0
+
+
+def test_tombstones_survive_truncation_and_crash():
+    """The safety hole checkpointing could open: truncation erases old
+    commit records, so the checkpoint must carry the tombstones — a
+    recovered site must never report 'no_state' for a decided
+    transaction (an abort quorum could otherwise form against a
+    committed one)."""
+    system = CamelotSystem(SystemConfig(sites={"a": 1}))
+    app = system.application("a")
+
+    def workload():
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@a", "x", 1)
+        outcome = yield from app.commit(tid)
+        return tid
+
+    tid = system.run_process(workload())
+    system.run_for(500.0)
+    take_checkpoint(system)  # truncates the commit record
+    commit_records = [r for r in system.stores.for_site("a").records()
+                      if r.kind is RecordKind.COMMIT
+                      or r.kind is RecordKind.COORD_COMMIT]
+    assert commit_records == []  # really gone from the log
+    system.crash_site("a")
+    system.restart_site("a")
+    assert system.tranman("a").tombstones.get(str(tid)) is Outcome.COMMITTED
+
+
+def test_periodic_checkpointing_bounds_the_log():
+    config = SystemConfig(sites={"a": 1}).with_cost(
+        checkpoint_interval=1_000.0)
+    system = CamelotSystem(config)
+    app = system.application("a")
+    for i in range(10):
+        commit_txn(system, app, "hot", i)
+        system.run_for(400.0)
+    system.run_for(2_000.0)
+    store = system.stores.for_site("a")
+    assert system.tracer.count("diskman.checkpoint") >= 3
+    # The log stays bounded instead of growing with history.
+    assert len(store) < 15
+    # And recovery still lands on the latest committed value.
+    system.crash_site("a")
+    system.restart_site("a")
+    system.run_for(1_000.0)
+    assert system.server("server0@a").peek("hot") == 9

@@ -1,0 +1,80 @@
+"""Unit tests for the cost model and system configuration."""
+
+from repro.config import (
+    PROFILES,
+    CostModel,
+    SystemConfig,
+    rt_pc_profile,
+    vax_mp_profile,
+)
+
+
+def test_rt_pc_matches_paper_table2():
+    c = rt_pc_profile()
+    assert c.local_ipc == 1.5
+    assert c.log_force == 15.0
+    assert c.datagram == 10.0
+    assert c.get_lock == 0.5
+    assert c.netmsg_rpc == 19.1
+
+
+def test_rpc_accounting_sums_to_paper_total():
+    """19.1 + 2*1.5 + 2*3.2 == 28.5 — the §4.1 'miraculous' sum."""
+    c = rt_pc_profile()
+    total = c.netmsg_rpc + 2 * c.local_ipc + 2 * c.comman_cpu_per_call
+    assert abs(total - 28.5) < 1e-9
+
+
+def test_vax_profile_is_multiprocessor_and_slower():
+    c = vax_mp_profile()
+    assert c.num_cpus == 4
+    assert c.cpu_speed_factor == 2.0
+    assert c.tranman_service_cpu > rt_pc_profile().tranman_service_cpu
+
+
+def test_vax_log_is_track_write_slow():
+    """The throughput testbed disk: ~30 log writes per second."""
+    c = vax_mp_profile()
+    assert 1000.0 / c.log_force <= 31.0
+
+
+def test_scaled_cpu():
+    c = vax_mp_profile()
+    assert c.scaled_cpu(3.0) == 6.0
+
+
+def test_bcopy_formula():
+    c = CostModel()
+    # 8.4 us + 180 us/KB, reported in ms.
+    assert abs(c.bcopy(2.0) - (8.4 + 360.0) / 1000.0) < 1e-9
+
+
+def test_with_overrides_copies():
+    c = CostModel()
+    c2 = c.with_overrides(log_force=99.0)
+    assert c2.log_force == 99.0
+    assert c.log_force == 15.0
+
+
+def test_system_config_defaults():
+    cfg = SystemConfig()
+    assert cfg.group_commit is False  # latency profile default
+    assert cfg.sites == {"site0": 1}
+
+
+def test_system_config_with_cost():
+    cfg = SystemConfig().with_cost(datagram=20.0)
+    assert cfg.cost.datagram == 20.0
+
+
+def test_named_profiles():
+    assert set(PROFILES) == {"rt_pc", "vax_mp", "wan"}
+    assert PROFILES["rt_pc"]().num_cpus == 1
+
+
+def test_wan_profile_messages_dominate_forces():
+    from repro.config import wan_profile
+
+    c = wan_profile()
+    assert c.datagram > 3 * c.log_force
+    assert c.protocol_timeout > rt_pc_profile().protocol_timeout

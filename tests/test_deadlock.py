@@ -1,0 +1,162 @@
+"""Deadlock handling: lock-wait timeouts, victims, read_for_update."""
+
+import pytest
+
+from repro import CamelotSystem, Outcome, SystemConfig, TID, TransactionAborted
+from repro.core.tid import TID as TIDCls
+from repro.servers.lockmgr import LockManager, LockMode
+
+
+def fast_timeout_system(sites=None):
+    config = SystemConfig(sites=sites or {"a": 1})
+    config = config.with_cost(lock_wait_timeout=400.0)
+    return CamelotSystem(config)
+
+
+def test_cancel_wait_removes_queued_request():
+    lm = LockManager()
+    t1, t2 = TIDCls("T1@a"), TIDCls("T2@a")
+    lm.acquire("x", t1, LockMode.WRITE)
+    lm.acquire("x", t2, LockMode.WRITE, on_grant=lambda: None)
+    assert lm.cancel_wait("x", t2)
+    assert lm.waiting_on("x") == []
+    assert not lm.cancel_wait("x", t2)  # idempotent
+
+
+def test_cancel_wait_wakes_compatible_successors():
+    lm = LockManager()
+    t1, t2, t3 = (TIDCls(f"T{i}@a") for i in (1, 2, 3))
+    lm.acquire("x", t1, LockMode.READ)
+    lm.acquire("x", t2, LockMode.WRITE, on_grant=lambda: None)
+    woken = []
+    lm.acquire("x", t3, LockMode.READ, on_grant=lambda: woken.append(True))
+    # Cancel the writer: the queued reader becomes compatible.
+    lm.cancel_wait("x", t2)
+    assert woken == [True]
+
+
+def test_upgrade_deadlock_resolved_by_victim_abort():
+    """Two read-then-upgrade transactions deadlock; the timeout picks a
+    victim, the other commits."""
+    system = fast_timeout_system()
+    outcomes = []
+
+    def upgrader(app):
+        try:
+            tid = yield from app.begin()
+            yield from app.read(tid, "server0@a", "x")
+            yield from app.write(tid, "server0@a", "x", 1)
+            outcome = yield from app.commit(tid)
+            outcomes.append(outcome)
+        except TransactionAborted:
+            outcomes.append(Outcome.ABORTED)
+
+    for i in range(2):
+        system.spawn(upgrader(system.application("a", name=f"u{i}")),
+                     name=f"u{i}")
+    system.run_for(20_000.0)
+    assert sorted(o.value for o in outcomes) == ["aborted", "committed"]
+    assert system.server("server0@a").locks.locked_objects() == []
+
+
+def test_cycle_deadlock_resolved():
+    """A -> x then y; B -> y then x: one becomes the victim."""
+    system = fast_timeout_system()
+    outcomes = []
+
+    def worker(app, first, second):
+        try:
+            tid = yield from app.begin()
+            yield from app.write(tid, "server0@a", first, 1)
+            yield from app.write(tid, "server0@a", second, 1)
+            outcome = yield from app.commit(tid)
+            outcomes.append(outcome)
+        except TransactionAborted:
+            outcomes.append(Outcome.ABORTED)
+
+    system.spawn(worker(system.application("a", name="A"), "x", "y"),
+                 name="A")
+    system.spawn(worker(system.application("a", name="B"), "y", "x"),
+                 name="B")
+    system.run_for(20_000.0)
+    assert Outcome.ABORTED in outcomes
+    assert Outcome.COMMITTED in outcomes
+    assert system.tracer.count("server.lock_timeout") >= 1
+    assert system.server("server0@a").locks.locked_objects() == []
+
+
+def test_read_for_update_avoids_upgrade_deadlock():
+    """Both transactions use read_for_update: pure serialization, both
+    commit, no victims."""
+    system = fast_timeout_system()
+    outcomes = []
+
+    def incrementer(app):
+        tid = yield from app.begin()
+        value = yield from app.read_for_update(tid, "server0@a", "n")
+        yield from app.write(tid, "server0@a", "n", (value or 0) + 1)
+        outcome = yield from app.commit(tid)
+        outcomes.append(outcome)
+
+    for i in range(3):
+        system.spawn(incrementer(system.application("a", name=f"i{i}")),
+                     name=f"i{i}")
+    system.run_for(30_000.0)
+    assert [o.value for o in outcomes] == ["committed"] * 3
+    assert system.server("server0@a").peek("n") == 3
+    assert system.tracer.count("server.lock_timeout") == 0
+
+
+def test_victim_abort_undoes_partial_work():
+    system = fast_timeout_system(sites={"a": 1, "b": 1})
+    state = {}
+
+    def blocker(app):
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@b", "y", 1)
+        state["holder"] = tid
+        # Hold y forever (never commits within the test window).
+        from repro.sim.process import Sleep
+        yield Sleep(60_000.0)
+
+    def victim(app):
+        from repro.sim.process import Sleep
+        yield Sleep(50.0)
+        try:
+            tid = yield from app.begin()
+            yield from app.write(tid, "server0@a", "x", 5)  # partial work
+            yield from app.write(tid, "server0@b", "y", 5)  # will time out
+            yield from app.commit(tid)
+        except TransactionAborted:
+            state["victim_aborted"] = True
+
+    system.spawn(blocker(system.application("a", name="blocker")),
+                 name="blocker")
+    system.spawn(victim(system.application("a", name="victim")),
+                 name="victim")
+    system.run_for(20_000.0)
+    assert state.get("victim_aborted")
+    # The victim's partial write at site a was undone.
+    assert system.server("server0@a").peek("x") is None
+
+
+def test_orphan_sweep_reclaims_dead_coordinators_locks():
+    """Coordinator site dies before commitment: participants' locks are
+    reclaimed by the orphan sweep (presumed abort)."""
+    config = SystemConfig(sites={"a": 1, "b": 1}).with_cost(
+        orphan_timeout=2_000.0)
+    system = CamelotSystem(config)
+    app = system.application("a")
+
+    def workload():
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@b", "x", 1)
+        # Coordinator dies before ever calling commit.
+
+    system.run_process(workload())
+    system.crash_site("a")
+    assert system.server("server0@b").locks.locked_objects() == ["x"]
+    system.run_for(10_000.0)
+    assert system.server("server0@b").locks.locked_objects() == []
+    assert system.server("server0@b").peek("x") is None
+    assert system.tracer.count("tranman.orphan_abort") >= 1

@@ -1,0 +1,85 @@
+"""Unit tests for the disk manager (logger + buffer pool)."""
+
+import pytest
+
+from repro import CamelotSystem, SystemConfig
+from repro.log.records import commit_record, update_record
+from repro.servers.diskman import WalProtocolError
+
+
+@pytest.fixture
+def system():
+    return CamelotSystem(SystemConfig(sites={"a": 1}))
+
+
+@pytest.fixture
+def diskman(system):
+    return system.runtime("a").diskman
+
+
+def test_append_is_lazy(system, diskman):
+    diskman.append(commit_record("T1@a", "a"))
+    assert diskman.disk_writes == 0
+
+
+def test_force_makes_durable(system, diskman):
+    def body():
+        rec = diskman.append(commit_record("T1@a", "a"))
+        yield from diskman.force(rec.lsn)
+        return diskman.wal.is_durable(rec.lsn)
+
+    assert system.run_process(body())
+    assert diskman.disk_writes == 1
+
+
+def test_lazy_sweep_flushes_eventually(system, diskman):
+    diskman.append(commit_record("T1@a", "a"))
+    system.run_for(500.0)
+    assert diskman.wal.flushed_lsn >= 1
+    assert system.tracer.count("diskman.lazy_sweep") >= 1
+
+
+def test_sweep_debounces_while_log_is_hot(system, diskman):
+    """Appends keep arriving: the sweep waits for a quiet gap."""
+    for i in range(3):
+        system.kernel.schedule(i * 10.0, diskman.append,
+                               commit_record(f"T{i}@a", "a"))
+    system.run_for(24.0)  # constant traffic, still inside debounce
+    assert diskman.wal.flushed_lsn == 0
+
+
+def test_watch_durable_fires(system, diskman):
+    fired = []
+    rec = diskman.append(commit_record("T1@a", "a"))
+    diskman.watch_durable(rec.lsn, lambda: fired.append(system.kernel.now))
+    system.run_for(500.0)
+    assert fired, "watch never fired"
+
+
+def test_pageout_respects_wal_protocol(system, diskman):
+    """A touched page whose log records are volatile forces the log
+    before paging out — no WalProtocolError and both disks written."""
+    rec = diskman.append(update_record("T1@a", "a", "s", "x", None, 1))
+    diskman.touch_page("s", "x", 1, rec.lsn)
+    system.run_for(1_200.0)
+    assert system.tracer.count("diskman.pageout") >= 1
+    assert diskman.wal.flushed_lsn >= rec.lsn
+    assert diskman.data_disk.writes >= 1
+
+
+def test_wal_protocol_assertion_guards_corruption(system, diskman):
+    from repro.servers.diskman import _BufferedPage
+
+    page = _BufferedPage("s/x")
+    page.rec_lsn = 99  # far beyond anything durable
+    with pytest.raises(WalProtocolError):
+        diskman._assert_wal_protocol(page)
+
+
+def test_group_commit_wiring(system):
+    gc_system = CamelotSystem(SystemConfig(sites={"a": 1},
+                                           group_commit=True))
+    dm = gc_system.runtime("a").diskman
+    assert dm.batcher.enabled
+    dm2 = system.runtime("a").diskman
+    assert not dm2.batcher.enabled

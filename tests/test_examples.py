@@ -1,0 +1,31 @@
+"""Every example must run clean from the command line.
+
+Each example asserts its own expected outcomes internally, so a zero
+exit status means the demonstrated behaviour actually happened.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, (
+        f"{example.name} failed:\n{result.stdout}\n{result.stderr}")
+    assert result.stdout.strip(), f"{example.name} printed nothing"
+
+
+def test_examples_exist():
+    """The deliverable: at least a quickstart plus three scenarios."""
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 4

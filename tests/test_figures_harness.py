@@ -1,0 +1,71 @@
+"""Structural tests for the per-figure experiment functions (small
+trial counts; the benchmarks run them at full size)."""
+
+import pytest
+
+from repro.bench.figures import (
+    figure2,
+    figure3,
+    lock_contention,
+    rpc_breakdown,
+    table1_report,
+    table2_measured,
+    table3,
+)
+
+
+def test_table1_report_has_eight_rows():
+    rows = table1_report()
+    assert len(rows) == 8
+    names = {r.name for r in rows}
+    assert "Context switch, swtch()" in names
+
+
+def test_table2_measured_structure():
+    measured = table2_measured(trials=8)
+    names = {m.name for m in measured}
+    assert {"Log force", "Datagram", "Remote RPC"} <= names
+    for m in measured:
+        assert m.measured >= 0
+        assert m.configured >= 0
+
+
+def test_rpc_breakdown_structure():
+    result = rpc_breakdown(calls=20)
+    assert result.measured_n == 20
+    assert result.components[-1].name == "Total Camelot RPC"
+    assert result.accounted_ms == pytest.approx(28.5)
+
+
+def test_figure2_structure_small():
+    series = figure2(trials=4, subs_range=(0, 1))
+    assert set(series) == {"optimized write", "semi-optimized write",
+                           "unoptimized write", "read"}
+    for fs in series.values():
+        assert [n for n, _ in fs.points] == [0, 1]
+        assert len(fs.means()) == 2
+
+
+def test_figure3_structure_small():
+    series = figure3(trials=4, subs_range=(0, 1))
+    assert set(series) == {"write", "read"}
+    write = series["write"]
+    assert write.means()[1] > write.means()[0]
+
+
+def test_table3_rows_have_paper_anchors():
+    rows = table3(trials=4)
+    labels = [r.label for r in rows]
+    assert "local update" in labels
+    for row in rows:
+        if row.paper_static is not None:
+            assert row.paper_measured is not None
+        assert row.static_ms > 0
+        assert row.measured.n == 4
+
+
+def test_lock_contention_reports_both_variants():
+    result = lock_contention(txns=6)
+    assert set(result.per_variant) == {"optimized", "unoptimized"}
+    assert result.per_variant["unoptimized"] >= \
+        result.per_variant["optimized"]

@@ -1,0 +1,133 @@
+"""Heuristic commit (paper §5, LU 6.2): resolving blocked transactions.
+
+"A practical approach to blocking is the 'heuristic commit' feature of
+LU 6.2, which allows a blocked transaction to be resolved either by an
+operator or by a program.  While not guaranteeing correctness, this
+approach does not slow down commitment in the regular case."
+"""
+
+import pytest
+
+from repro import CamelotSystem, Outcome, ProtocolKind, SystemConfig, TID
+from repro.core.outcomes import Vote
+from repro.core.messages import AbortNotice, CommitNotice
+from repro.core.twophase import (
+    ProtocolViolation,
+    SubordinateState,
+    TwoPhaseSubordinate,
+)
+
+from tests.machine_harness import MachineHost
+
+TID1 = TID("T1@a")
+
+
+def blocked_sub():
+    host = MachineHost(TwoPhaseSubordinate(TID1, "b", "a")).start()
+    host.local_prepared(Vote.YES)
+    host.complete_force()
+    return host
+
+
+# ---------------------------------------------------------- unit level
+
+
+def test_heuristic_commit_releases_locks_immediately():
+    host = blocked_sub()
+    host.execute(host.machine.heuristic_resolve(Outcome.COMMITTED))
+    assert host.local_commits == [TID1]
+    assert host.written_kinds() == ["commit"]
+    assert host.machine.state is SubordinateState.HEURISTIC
+
+
+def test_heuristic_abort_undoes_immediately():
+    host = blocked_sub()
+    host.execute(host.machine.heuristic_resolve(Outcome.ABORTED))
+    assert host.local_aborts == [TID1]
+    assert host.written_kinds() == ["abort"]
+
+
+def test_correct_guess_closes_without_damage():
+    host = blocked_sub()
+    host.execute(host.machine.heuristic_resolve(Outcome.COMMITTED))
+    host.deliver(CommitNotice(tid=TID1, sender="a"))
+    assert not host.machine.heuristic_damage
+    assert host.forgotten == [TID1]
+    # The coordinator still gets its ack.
+    assert any(type(m).__name__ == "CommitAck" for _, m in host.sent)
+
+
+def test_wrong_guess_reports_heuristic_damage():
+    host = blocked_sub()
+    host.execute(host.machine.heuristic_resolve(Outcome.COMMITTED))
+    host.deliver(AbortNotice(tid=TID1, sender="a"))
+    assert host.machine.heuristic_damage
+    assert any(t.kind == "2pc.heuristic_damage" for t in host.traces)
+    assert host.machine.outcome is Outcome.ABORTED  # truth recorded
+
+
+def test_wrong_guess_other_direction():
+    host = blocked_sub()
+    host.execute(host.machine.heuristic_resolve(Outcome.ABORTED))
+    host.deliver(CommitNotice(tid=TID1, sender="a"))
+    assert host.machine.heuristic_damage
+
+
+def test_heuristic_keeps_inquiring_for_the_truth():
+    from repro.core.twophase import OUTCOME_TIMER
+
+    host = blocked_sub()
+    host.execute(host.machine.heuristic_resolve(Outcome.COMMITTED))
+    host.fire_timer(OUTCOME_TIMER)
+    assert any(type(m).__name__ == "TxnInquiry" for _, m in host.sent)
+
+
+def test_heuristic_only_from_prepared():
+    host = MachineHost(TwoPhaseSubordinate(TID1, "b", "a")).start()
+    with pytest.raises(ProtocolViolation):
+        host.machine.heuristic_resolve(Outcome.COMMITTED)
+
+
+# ------------------------------------------------------- system level
+
+
+def test_operator_unblocks_a_stranded_subordinate():
+    """End to end: coordinator dies in the window; the operator
+    heuristically commits at b; locks release; when the coordinator
+    recovers with no commit record (presumed abort), damage is
+    reported."""
+    system = CamelotSystem(SystemConfig(sites={"a": 1, "b": 1, "c": 1}))
+    app = system.application("a")
+    state = {}
+
+    def workload():
+        tid = yield from app.begin()
+        state["tid"] = tid
+        for s in system.default_services():
+            yield from app.write(tid, s, "x", 9)
+        yield from app.commit(tid)
+
+    system.spawn(workload(), name="txn")
+    system.failures.crash_at(138.0, "a")
+    system.run_for(8_000.0)  # blocked, inquiring
+    tid = state["tid"]
+    assert system.server("server0@b").locks.locked_objects() == ["x"]
+
+    system.tranman("b").heuristic_resolve(tid, Outcome.COMMITTED)
+    system.run_for(1_000.0)
+    assert system.server("server0@b").locks.locked_objects() == []
+    assert system.server("server0@b").peek("x") == 9  # exposed!
+
+    # The coordinator returns with no trace: presumed abort.
+    system.failures.restart_at(system.kernel.now + 100.0, "a")
+    system.run_for(20_000.0)
+    assert system.tracer.count("2pc.heuristic_damage") == 1
+    # c (never heuristically resolved) aborted cleanly.
+    assert system.server("server0@c").peek("x") is None
+
+
+def test_heuristic_resolve_requires_blocked_machine():
+    system = CamelotSystem(SystemConfig(sites={"a": 1}))
+    with pytest.raises(ValueError):
+        system.tranman("a").heuristic_resolve(TID("T9@a"),
+                                              Outcome.COMMITTED)

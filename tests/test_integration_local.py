@@ -1,0 +1,191 @@
+"""Integration: local transactions through the whole stack."""
+
+import pytest
+
+from repro import CamelotSystem, Outcome, ProtocolKind, SystemConfig, TID
+from repro.servers.application import TransactionAborted
+
+
+@pytest.fixture
+def system():
+    return CamelotSystem(SystemConfig(sites={"a": 2}))
+
+
+def run(system, body, timeout=60_000.0):
+    return system.run_process(body, timeout_ms=timeout)
+
+
+def test_local_update_commits_and_applies(system):
+    app = system.application("a")
+
+    def workload():
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@a", "x", 41)
+        yield from app.write(tid, "server0@a", "x", 42)
+        outcome = yield from app.commit(tid)
+        return outcome
+
+    assert run(system, workload()) is Outcome.COMMITTED
+    assert system.server("server0@a").peek("x") == 42
+
+
+def test_local_update_single_log_force(system):
+    """'In the best (and typical) case, only one log write is needed to
+    commit the transaction.'"""
+    app = system.application("a")
+
+    def workload():
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@a", "x", 1)
+        yield from app.commit(tid)
+
+    before = system.tracer.snapshot()
+    run(system, workload())
+    delta = system.tracer.delta(before, system.tracer.snapshot())
+    assert delta.get("diskman.force", 0) == 1
+
+
+def test_local_read_no_log_writes(system):
+    app = system.application("a")
+
+    def workload():
+        tid = yield from app.begin()
+        value = yield from app.read(tid, "server0@a", "missing")
+        outcome = yield from app.commit(tid)
+        return (value, outcome)
+
+    value, outcome = run(system, workload())
+    assert value is None and outcome is Outcome.COMMITTED
+    rt = system.runtime("a")
+    assert rt.diskman.wal.appends == 0
+
+
+def test_abort_undoes_updates(system):
+    app = system.application("a")
+
+    def workload():
+        seed = yield from app.begin()
+        yield from app.write(seed, "server0@a", "x", 10)
+        yield from app.commit(seed)
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@a", "x", 99)
+        yield from app.abort(tid)
+
+    run(system, workload())
+    system.run_for(2_000.0)  # let the one-way undo land
+    assert system.server("server0@a").peek("x") == 10
+
+
+def test_aborted_transaction_releases_locks(system):
+    app = system.application("a")
+
+    def workload():
+        t1 = yield from app.begin()
+        yield from app.write(t1, "server0@a", "x", 1)
+        yield from app.abort(t1)
+        # If locks leaked, this write would hang.
+        t2 = yield from app.begin()
+        yield from app.write(t2, "server0@a", "x", 2)
+        outcome = yield from app.commit(t2)
+        return outcome
+
+    assert run(system, workload()) is Outcome.COMMITTED
+
+
+def test_two_servers_one_site_one_force(system):
+    """Multiple servers at one site share the commit record."""
+    app = system.application("a")
+
+    def workload():
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@a", "x", 1)
+        yield from app.write(tid, "server1@a", "y", 2)
+        outcome = yield from app.commit(tid)
+        return outcome
+
+    before = system.tracer.snapshot()
+    assert run(system, workload()) is Outcome.COMMITTED
+    delta = system.tracer.delta(before, system.tracer.snapshot())
+    assert delta.get("diskman.force", 0) == 1
+    assert system.server("server1@a").peek("y") == 2
+
+
+def test_commit_of_unknown_transaction_fails(system):
+    app = system.application("a")
+
+    def workload():
+        with pytest.raises(TransactionAborted):
+            yield from app.commit(TID("T99@a"))
+        return "checked"
+
+    assert run(system, workload()) == "checked"
+
+
+def test_server_refusal_aborts_transaction(system):
+    app = system.application("a")
+
+    def workload():
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@a", "x", 5)
+        system.server("server0@a").refuse_next_prepare.add(tid)
+        outcome = yield from app.commit(tid)
+        return outcome
+
+    assert run(system, workload()) is Outcome.ABORTED
+    system.run_for(1_000.0)
+    assert system.server("server0@a").peek("x") is None
+
+
+def test_serial_transactions_isolated(system):
+    app = system.application("a")
+
+    def workload():
+        for i in range(5):
+            tid = yield from app.begin()
+            current = yield from app.read(tid, "server0@a", "counter")
+            yield from app.write(tid, "server0@a", "counter",
+                                 (current or 0) + 1)
+            yield from app.commit(tid)
+
+    run(system, workload())
+    assert system.server("server0@a").peek("counter") == 5
+
+
+def test_concurrent_apps_with_lock_conflict(system):
+    """Two write-write conflicting transactions serialize on the lock:
+    the second waits for the first's locks to drop, then commits."""
+    apps = [system.application("a", name=f"app{i}") for i in range(2)]
+    results = []
+
+    def workload(app, value):
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@a", "slot", value)
+        outcome = yield from app.commit(tid)
+        results.append((value, outcome))
+
+    system.spawn(workload(apps[0], 1))
+    system.spawn(workload(apps[1], 2))
+    system.run_for(10_000.0)
+    assert [o for _, o in results] == [Outcome.COMMITTED, Outcome.COMMITTED]
+    # One of them waited for the other's lock.
+    assert system.tracer.count("server.lock_wait") >= 1
+    # Serialized: the final value is the later committer's.
+    assert system.server("server0@a").peek("slot") in (1, 2)
+
+
+def test_stats_track_commits_and_aborts(system):
+    app = system.application("a")
+
+    def workload():
+        t1 = yield from app.begin()
+        yield from app.write(t1, "server0@a", "x", 1)
+        yield from app.commit(t1)
+        t2 = yield from app.begin()
+        yield from app.write(t2, "server0@a", "x", 2)
+        yield from app.abort(t2)
+
+    run(system, workload())
+    stats = system.tranman("a").stats
+    assert stats["begun"] == 2
+    assert stats["committed"] == 1
+    assert stats["aborted"] == 1

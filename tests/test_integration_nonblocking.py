@@ -1,0 +1,146 @@
+"""Integration: the non-blocking protocol through the whole stack."""
+
+import pytest
+
+from repro import CamelotSystem, Outcome, ProtocolKind, SystemConfig
+from repro.log.records import RecordKind
+
+
+@pytest.fixture
+def system():
+    return CamelotSystem(SystemConfig(sites={"a": 1, "b": 1, "c": 1}))
+
+
+def nb_txn(system, app, services, op="write"):
+    def workload():
+        tid = yield from app.begin(protocol=ProtocolKind.NON_BLOCKING)
+        for i, service in enumerate(services):
+            if op == "write":
+                yield from app.write(tid, service, "x", i)
+            else:
+                yield from app.read(tid, service, "x")
+        outcome = yield from app.commit(tid,
+                                        protocol=ProtocolKind.NON_BLOCKING)
+        return (tid, outcome)
+
+    return system.run_process(workload(), timeout_ms=120_000.0)
+
+
+def test_commit_applies_everywhere(system):
+    app = system.application("a")
+    tid, outcome = nb_txn(system, app, system.default_services())
+    assert outcome is Outcome.COMMITTED
+    for i, service in enumerate(system.default_services()):
+        assert system.server(service).peek("x") == i
+
+
+def test_one_subordinate_four_forces_on_path(system):
+    """The §4.3 counts: 4 forces and 5 datagrams on the critical path of
+    a 1-subordinate non-blocking update."""
+    small = CamelotSystem(SystemConfig(sites={"a": 1, "b": 1}))
+    app = small.application("a")
+    before = small.tracer.snapshot()
+    __, outcome = nb_txn(small, app, small.default_services())
+    small.run_for(100.0)  # outcome notice + ack settle
+    delta = small.tracer.delta(before, small.tracer.snapshot())
+    assert outcome is Outcome.COMMITTED
+    assert delta.get("diskman.force", 0) == 4
+    # prepare, vote, replicate, replicate-ack, outcome (+ outcome ack).
+    assert delta.get("tranman.datagram", 0) in (5, 6)
+
+
+def test_each_update_site_writes_prepare_and_replication(system):
+    app = system.application("a")
+    tid, __ = nb_txn(system, app, system.default_services())
+    system.run_for(3_000.0)
+    for name in system.site_names():
+        kinds = [r.kind for r in system.stores.for_site(name).records()
+                 if r.tid == str(tid)]
+        assert RecordKind.PREPARE in kinds
+        assert RecordKind.REPLICATION in kinds or name not in \
+            ("a", "b")  # quorum = 2 of 3: c may or may not be needed
+        assert RecordKind.COMMIT in kinds
+
+
+def test_replication_record_carries_decision_data(system):
+    app = system.application("a")
+    tid, __ = nb_txn(system, app, system.default_services())
+    system.run_for(3_000.0)
+    recs = [r for r in system.stores.for_site("a").records()
+            if r.kind is RecordKind.REPLICATION and r.tid == str(tid)]
+    assert recs
+    data = recs[0].payload["decision_data"]
+    assert data["coordinator"] == "a"
+    assert set(data["votes"]) == {"a", "b", "c"}
+    assert data["quorum"]["commit_quorum"] == 2
+
+
+def test_read_only_nb_matches_2pc_read_counts(system):
+    app = system.application("a")
+    before = system.tracer.snapshot()
+    __, outcome = nb_txn(system, app, system.default_services(), op="read")
+    delta = system.tracer.delta(before, system.tracer.snapshot())
+    assert outcome is Outcome.COMMITTED
+    assert delta.get("diskman.force", 0) == 0
+    assert delta.get("tranman.datagram", 0) == 4  # 2 prepares + 2 votes
+
+
+def test_read_only_helper_drafted_when_quorum_needs_it(system):
+    """Update at coordinator only, both subs read-only: Qc=2 needs a
+    helper replication record at a read-only site."""
+    app = system.application("a")
+
+    def workload():
+        tid = yield from app.begin(protocol=ProtocolKind.NON_BLOCKING)
+        yield from app.write(tid, "server0@a", "x", 1)
+        yield from app.read(tid, "server0@b", "x")
+        yield from app.read(tid, "server0@c", "x")
+        outcome = yield from app.commit(tid,
+                                        protocol=ProtocolKind.NON_BLOCKING)
+        return (tid, outcome)
+
+    tid, outcome = system.run_process(workload())
+    assert outcome is Outcome.COMMITTED
+    system.run_for(3_000.0)
+    replication_sites = [
+        name for name in system.site_names()
+        if any(r.kind is RecordKind.REPLICATION and r.tid == str(tid)
+               for r in system.stores.for_site(name).records())]
+    assert len(replication_sites) == 2  # coordinator + one helper
+    assert "a" in replication_sites
+
+
+def test_no_vote_aborts(system):
+    app = system.application("a")
+
+    def workload():
+        tid = yield from app.begin(protocol=ProtocolKind.NON_BLOCKING)
+        yield from app.write(tid, "server0@a", "x", 1)
+        yield from app.write(tid, "server0@b", "x", 2)
+        system.server("server0@b").refuse_next_prepare.add(tid)
+        outcome = yield from app.commit(tid,
+                                        protocol=ProtocolKind.NON_BLOCKING)
+        return outcome
+
+    assert system.run_process(workload()) is Outcome.ABORTED
+    system.run_for(2_000.0)
+    assert system.server("server0@a").peek("x") is None
+
+
+def test_all_sites_agree_and_forget(system):
+    app = system.application("a")
+    tid, __ = nb_txn(system, app, system.default_services())
+    system.run_for(10_000.0)
+    for name in system.site_names():
+        tm = system.tranman(name)
+        assert tm.tombstones.get(str(tid)) is Outcome.COMMITTED
+        assert str(tid) not in {str(t) for t in tm.machines}
+
+
+def test_nb_slower_than_2pc_but_under_twice(system):
+    from repro.bench.experiment import measure_latency
+
+    two = measure_latency(1, trials=8)
+    nb = measure_latency(1, protocol=ProtocolKind.NON_BLOCKING, trials=8)
+    ratio = nb.summary.mean / two.summary.mean
+    assert 1.2 < ratio < 2.0

@@ -1,0 +1,83 @@
+"""Unit tests for log record types and serialisation."""
+
+import pytest
+
+from repro.log.records import (
+    LogRecord,
+    RecordKind,
+    abort_pledge_record,
+    abort_record,
+    commit_record,
+    coordinator_commit_record,
+    end_record,
+    prepare_record,
+    replication_record,
+    update_record,
+)
+
+
+def test_update_record_carries_old_and_new():
+    rec = update_record("T1@a", "a", "server0@a", "x", 1, 2)
+    assert rec.kind is RecordKind.UPDATE
+    assert rec.payload == {"server": "server0@a", "object": "x",
+                           "old": 1, "new": 2}
+
+
+def test_prepare_record_2pc_vs_nb():
+    plain = prepare_record("T1@a", "b", coordinator="a")
+    assert "sites" not in plain.payload
+    nb = prepare_record("T1@a", "b", coordinator="a", sites=["a", "b"],
+                        quorum_sizes={"n_sites": 2, "commit_quorum": 2,
+                                      "abort_quorum": 1})
+    assert nb.payload["sites"] == ["a", "b"]
+    assert nb.payload["quorum_sizes"]["commit_quorum"] == 2
+
+
+def test_coordinator_commit_lists_subordinates():
+    rec = coordinator_commit_record("T1@a", "a", subordinates=["b", "c"])
+    assert rec.payload["subordinates"] == ["b", "c"]
+
+
+def test_replication_record_payload():
+    rec = replication_record("T1@a", "b", {"votes": {"a": "yes"}})
+    assert rec.payload["decision_data"]["votes"] == {"a": "yes"}
+
+
+def test_all_kinds_roundtrip_through_dict():
+    records = [
+        update_record("T1@a", "a", "s", "x", None, 5),
+        prepare_record("T1@a", "a", "a", sites=["a"],
+                       quorum_sizes={"n_sites": 1, "commit_quorum": 1,
+                                     "abort_quorum": 1}),
+        commit_record("T1@a", "a"),
+        coordinator_commit_record("T1@a", "a", ["b"]),
+        abort_record("T1@a", "a"),
+        replication_record("T1@a", "a", {"k": "v"}),
+        abort_pledge_record("T1@a", "a"),
+        end_record("T1@a", "a"),
+    ]
+    for rec in records:
+        rec.lsn = 7
+        clone = LogRecord.from_dict(rec.to_dict())
+        assert clone.kind is rec.kind
+        assert clone.tid == rec.tid
+        assert clone.site == rec.site
+        assert clone.payload == rec.payload
+        assert clone.lsn == 7
+
+
+def test_serialised_form_is_detached():
+    rec = update_record("T1@a", "a", "s", "x", 0, 1)
+    rec.lsn = 1
+    data = rec.to_dict()
+    rec.payload["new"] = 999
+    assert data["payload"]["new"] == 1
+
+
+def test_record_kinds_are_distinct_strings():
+    values = [k.value for k in RecordKind]
+    assert len(values) == len(set(values))
+
+
+def test_abort_pledge_has_own_kind():
+    assert abort_pledge_record("T1@a", "b").kind is RecordKind.ABORT_PLEDGE

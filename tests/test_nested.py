@@ -1,0 +1,231 @@
+"""Integration: Moss-model nested transactions.
+
+Camelot transactions "can be arbitrarily nested and distributed";
+subtransaction commit is volatile (relative to the parent), abort undoes
+the subtree, and top-level commitment covers every site the family
+touched.
+"""
+
+import pytest
+
+from repro import CamelotSystem, Outcome, SystemConfig, TID
+
+
+@pytest.fixture
+def system():
+    return CamelotSystem(SystemConfig(sites={"a": 1, "b": 1}))
+
+
+def test_nested_begin_yields_child_tid(system):
+    app = system.application("a")
+
+    def workload():
+        root = yield from app.begin()
+        child = yield from app.begin(parent=root)
+        grand = yield from app.begin(parent=child)
+        return (root, child, grand)
+
+    root, child, grand = system.run_process(workload())
+    assert child.parent == root
+    assert grand.parent == child
+    assert grand.top_level == root
+
+
+def test_nested_begin_with_unknown_parent_fails(system):
+    app = system.application("a")
+
+    def workload():
+        with pytest.raises(RuntimeError, match="unknown parent"):
+            yield from app.begin(parent=TID("T99@a"))
+        return True
+
+    assert system.run_process(workload())
+
+
+def test_child_commit_then_top_commit_applies(system):
+    app = system.application("a")
+
+    def workload():
+        root = yield from app.begin()
+        child = yield from app.begin(parent=root)
+        yield from app.write(child, "server0@a", "x", 1)
+        yield from app.commit(child)
+        outcome = yield from app.commit(root)
+        return outcome
+
+    assert system.run_process(workload()) is Outcome.COMMITTED
+    assert system.server("server0@a").peek("x") == 1
+
+
+def test_child_abort_undoes_only_subtree(system):
+    app = system.application("a")
+
+    def workload():
+        root = yield from app.begin()
+        yield from app.write(root, "server0@a", "kept", 1)
+        child = yield from app.begin(parent=root)
+        yield from app.write(child, "server0@a", "doomed", 2)
+        yield from app.abort(child)
+        outcome = yield from app.commit(root)
+        return outcome
+
+    assert system.run_process(workload()) is Outcome.COMMITTED
+    system.run_for(1_000.0)
+    assert system.server("server0@a").peek("kept") == 1
+    assert system.server("server0@a").peek("doomed") is None
+
+
+def test_parent_abort_undoes_committed_children(system):
+    """A child commit is only relative: an ancestor abort revokes it."""
+    app = system.application("a")
+
+    def workload():
+        root = yield from app.begin()
+        child = yield from app.begin(parent=root)
+        yield from app.write(child, "server0@a", "x", 5)
+        yield from app.commit(child)
+        yield from app.abort(root)
+
+    system.run_process(workload())
+    system.run_for(1_000.0)
+    assert system.server("server0@a").peek("x") is None
+
+
+def test_child_locks_inherited_by_parent(system):
+    app = system.application("a")
+
+    def workload():
+        root = yield from app.begin()
+        child = yield from app.begin(parent=root)
+        yield from app.write(child, "server0@a", "x", 1)
+        yield from app.commit(child)
+        return root
+
+    root = system.run_process(workload())
+    system.run_for(500.0)
+    locks = system.server("server0@a").locks
+    assert locks.retainers_of("x"), "parent should retain the child's lock"
+    retainer = next(iter(locks.retainers_of("x")))
+    assert retainer == root
+
+
+def test_sibling_can_use_lock_after_child_commit(system):
+    app = system.application("a")
+
+    def workload():
+        root = yield from app.begin()
+        c1 = yield from app.begin(parent=root)
+        yield from app.write(c1, "server0@a", "x", 1)
+        yield from app.commit(c1)
+        c2 = yield from app.begin(parent=root)
+        yield from app.write(c2, "server0@a", "x", 2)
+        yield from app.commit(c2)
+        outcome = yield from app.commit(root)
+        return outcome
+
+    assert system.run_process(workload()) is Outcome.COMMITTED
+    assert system.server("server0@a").peek("x") == 2
+
+
+def test_unrelated_transaction_blocked_until_top_commit(system):
+    app = system.application("a")
+    order = []
+
+    def family():
+        root = yield from app.begin()
+        child = yield from app.begin(parent=root)
+        yield from app.write(child, "server0@a", "x", 1)
+        yield from app.commit(child)
+        order.append("family-pre-commit")
+        yield from app.commit(root)
+        order.append("family-committed")
+
+    app2 = system.application("a", name="outsider")
+
+    def outsider():
+        from repro.sim.process import Sleep
+
+        yield Sleep(30.0)  # let the family take the lock first
+        tid = yield from app2.begin()
+        yield from app2.write(tid, "server0@a", "x", 99)
+        order.append("outsider-wrote")
+        yield from app2.commit(tid)
+
+    system.spawn(family(), name="family")
+    system.spawn(outsider(), name="outsider")
+    system.run_for(30_000.0)
+    assert order.index("outsider-wrote") > order.index("family-committed")
+
+
+def test_distributed_nested_transaction(system):
+    """A child spreads to a remote site; top-level commit covers it."""
+    app = system.application("a")
+
+    def workload():
+        root = yield from app.begin()
+        child = yield from app.begin(parent=root)
+        yield from app.write(child, "server0@b", "remote", 7)
+        yield from app.commit(child)
+        outcome = yield from app.commit(root)
+        return (root, outcome)
+
+    root, outcome = system.run_process(workload())
+    assert outcome is Outcome.COMMITTED
+    assert system.server("server0@b").peek("remote") == 7
+
+
+def test_distributed_nested_abort_reaches_remote_site(system):
+    app = system.application("a")
+
+    def workload():
+        root = yield from app.begin()
+        child = yield from app.begin(parent=root)
+        yield from app.write(child, "server0@b", "remote", 7)
+        yield from app.abort(child)
+        outcome = yield from app.commit(root)
+        return outcome
+
+    assert system.run_process(workload()) is Outcome.COMMITTED
+    system.run_for(3_000.0)
+    assert system.server("server0@b").peek("remote") is None
+    assert system.server("server0@b").locks.locked_objects() == []
+
+
+def test_nested_stats(system):
+    app = system.application("a")
+
+    def workload():
+        root = yield from app.begin()
+        c1 = yield from app.begin(parent=root)
+        yield from app.write(c1, "server0@a", "x", 1)
+        yield from app.commit(c1)
+        c2 = yield from app.begin(parent=root)
+        yield from app.abort(c2)
+        yield from app.commit(root)
+
+    system.run_process(workload())
+    stats = system.tranman("a").stats
+    assert stats["nested_begun"] == 2
+    assert stats["nested_committed"] == 1
+    assert stats["nested_aborted"] == 1
+
+
+def test_deep_nesting(system):
+    """A four-deep chain: write at every level, commit innermost out."""
+    app = system.application("a")
+
+    def workload():
+        root = yield from app.begin()
+        chain = [root]
+        for depth in range(4):
+            child = yield from app.begin(parent=chain[-1])
+            yield from app.write(child, "server0@a", f"level{depth}", depth)
+            chain.append(child)
+        for tid in reversed(chain[1:]):
+            yield from app.commit(tid)
+        outcome = yield from app.commit(root)
+        return outcome
+
+    assert system.run_process(workload()) is Outcome.COMMITTED
+    for depth in range(4):
+        assert system.server("server0@a").peek(f"level{depth}") == depth

@@ -1,0 +1,178 @@
+"""System-wide property tests (hypothesis).
+
+The headline invariant: **atomicity** — under randomized crash times,
+protocols, and failure combinations, no two sites ever decide a
+transaction differently, and every surviving decision is consistent
+with the values on disk.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CamelotSystem, Outcome, ProtocolKind, SystemConfig
+from repro.log.records import RecordKind
+
+SLOW = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow,
+                                       HealthCheck.data_too_large])
+
+
+def run_with_failure(protocol, crash_site, crash_at, restart, seed):
+    system = CamelotSystem(SystemConfig(sites={"a": 1, "b": 1, "c": 1},
+                                        seed=seed))
+    app = system.application("a")
+    state = {}
+
+    def workload():
+        tid = yield from app.begin(protocol=protocol)
+        state["tid"] = str(tid)
+        for s in system.default_services():
+            yield from app.write(tid, s, "x", 1)
+        try:
+            outcome = yield from app.commit(tid, protocol=protocol)
+            state["outcome"] = outcome
+        except BaseException:
+            pass
+
+    if crash_site is not None:
+        system.failures.crash_at(crash_at, crash_site)
+        if restart:
+            system.failures.restart_at(crash_at + 4_000.0, crash_site)
+    system.spawn(workload(), name="txn")
+    system.run_for(45_000.0)
+    return system, state
+
+
+def decided_outcomes(system, state):
+    tid = state.get("tid")
+    found = {}
+    for site in system.site_names():
+        tomb = system.tranman(site).tombstones.get(tid)
+        if tomb is not None:
+            found[site] = tomb
+    return found
+
+
+@SLOW
+@given(protocol=st.sampled_from([ProtocolKind.TWO_PHASE,
+                                 ProtocolKind.NON_BLOCKING]),
+       crash_site=st.sampled_from(["a", "b", "c", None]),
+       crash_at=st.floats(min_value=5.0, max_value=400.0),
+       restart=st.booleans(),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_no_two_sites_decide_differently(protocol, crash_site, crash_at,
+                                         restart, seed):
+    system, state = run_with_failure(protocol, crash_site, crash_at,
+                                     restart, seed)
+    outcomes = set(decided_outcomes(system, state).values())
+    assert len(outcomes) <= 1, f"split brain: {outcomes}"
+
+
+@SLOW
+@given(crash_at=st.floats(min_value=100.0, max_value=260.0),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_nb_single_coordinator_crash_survivors_always_decide(crash_at, seed):
+    """The protocol's whole point: one crash never blocks the rest."""
+    system, state = run_with_failure(ProtocolKind.NON_BLOCKING, "a",
+                                     crash_at, False, seed)
+    decided = decided_outcomes(system, state)
+    assert "b" in decided and "c" in decided
+    assert decided["b"] == decided["c"]
+    # And locks are gone at the survivors.
+    for s in ("b", "c"):
+        assert system.server(f"server0@{s}").locks.locked_objects() == []
+
+
+@SLOW
+@given(crash_at=st.floats(min_value=100.0, max_value=200.0),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_committed_outcome_matches_values_on_disk(crash_at, seed):
+    """If any site decided COMMITTED, every live update site eventually
+    shows the committed value; if ABORTED, none does."""
+    system, state = run_with_failure(ProtocolKind.NON_BLOCKING, "a",
+                                     crash_at, True, seed)
+    system.run_for(20_000.0)
+    decided = decided_outcomes(system, state)
+    if not decided:
+        return
+    outcome = next(iter(decided.values()))
+    for s in ("b", "c"):
+        value = system.server(f"server0@{s}").peek("x")
+        if outcome is Outcome.COMMITTED:
+            assert value == 1
+        else:
+            assert value is None
+
+
+@SLOW
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       partition_at=st.floats(min_value=100.0, max_value=250.0))
+def test_nb_partition_never_splits_brain(seed, partition_at):
+    system = CamelotSystem(SystemConfig(sites={"a": 1, "b": 1, "c": 1},
+                                        seed=seed))
+    app = system.application("a")
+    state = {}
+
+    def workload():
+        tid = yield from app.begin(protocol=ProtocolKind.NON_BLOCKING)
+        state["tid"] = str(tid)
+        for s in system.default_services():
+            yield from app.write(tid, s, "x", 1)
+        try:
+            yield from app.commit(tid, protocol=ProtocolKind.NON_BLOCKING)
+        except BaseException:
+            pass
+
+    system.failures.partition_at(partition_at, [["a"], ["b", "c"]])
+    system.failures.heal_at(partition_at + 12_000.0)
+    system.spawn(workload(), name="txn")
+    system.run_for(60_000.0)
+    outcomes = set(decided_outcomes(system, state).values())
+    assert len(outcomes) <= 1
+
+
+@SLOW
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       loss=st.floats(min_value=0.0, max_value=0.25))
+def test_message_loss_never_breaks_atomicity(seed, loss):
+    system = CamelotSystem(SystemConfig(sites={"a": 1, "b": 1}, seed=seed))
+    system.lan.loss_probability = loss
+    app = system.application("a")
+    state = {}
+
+    def workload():
+        try:
+            tid = yield from app.begin()
+            state["tid"] = str(tid)
+            yield from app.write(tid, "server0@a", "x", 1, timeout=8_000.0)
+            yield from app.write(tid, "server0@b", "x", 1, timeout=8_000.0)
+            yield from app.commit(tid)
+        except BaseException:
+            pass
+
+    system.spawn(workload(), name="txn")
+    system.run_for(60_000.0)
+    outcomes = set(decided_outcomes(system, state).values())
+    assert len(outcomes) <= 1
+
+
+@SLOW
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       crash_at=st.floats(min_value=10.0, max_value=300.0))
+def test_log_never_contains_conflicting_outcomes(seed, crash_at):
+    """No site's durable log ever holds both a commit and an abort
+    record for one transaction."""
+    system, state = run_with_failure(ProtocolKind.NON_BLOCKING, "b",
+                                     crash_at, True, seed)
+    system.run_for(10_000.0)
+    for site in system.site_names():
+        by_tid = {}
+        for rec in system.stores.for_site(site).records():
+            kinds = by_tid.setdefault(rec.tid, set())
+            kinds.add(rec.kind)
+        for tid, kinds in by_tid.items():
+            has_commit = kinds & {RecordKind.COMMIT, RecordKind.COORD_COMMIT}
+            has_abort = RecordKind.ABORT in kinds
+            assert not (has_commit and has_abort), \
+                f"{site}: {tid} has both commit and abort records"

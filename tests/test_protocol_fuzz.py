@@ -1,0 +1,220 @@
+"""Protocol fuzzing: random delivery orders, duplication, and loss
+against linked sans-IO machines.
+
+A miniature network of MachineHosts is wired together; every outbound
+message goes into a bag, and a seeded scheduler repeatedly pulls a
+random message (sometimes duplicating it, sometimes dropping it) and
+delivers it, interleaving log-force completions and timer firings at
+random.  Invariants checked on every schedule:
+
+- no machine ever raises a protocol violation;
+- every decided machine agrees on the outcome;
+- a site that decided COMMITTED holds (or held) the records commit
+  requires.
+
+This exercises the idempotency/duplicate/stale-message paths far more
+densely than the integration suite can.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import NbVote, VoteResponse
+from repro.core.nonblocking import NbCoordinator, NbSubordinate
+from repro.core.outcomes import Outcome, Vote
+from repro.core.quorum import QuorumSpec
+from repro.core.tid import TID
+from repro.core.twophase import TwoPhaseCoordinator, TwoPhaseSubordinate
+
+from tests.machine_harness import MachineHost
+
+TID1 = TID("T1@c0")
+
+FUZZ = settings(max_examples=40, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+class FuzzNet:
+    """Links MachineHosts by site name and schedules chaos."""
+
+    def __init__(self, rng: random.Random, dup_rate: float,
+                 loss_rate: float, interceptor=None):
+        self.rng = rng
+        self.dup_rate = dup_rate
+        self.loss_rate = loss_rate
+        # Emulates the TranMan's stateless protocol edge (e.g. building
+        # a quorum-helper machine for a forgotten read-only site);
+        # returns True when it fully handled the delivery.
+        self.interceptor = interceptor
+        self.hosts = {}
+        self._consumed = {}  # host -> how many sent messages processed
+
+    def add(self, site: str, host: MachineHost) -> None:
+        self.hosts[site] = host
+        self._consumed[site] = 0
+
+    def _collect(self):
+        """Sweep every host's fresh outbound messages into the bag."""
+        bag = []
+        for site, host in self.hosts.items():
+            fresh = host.sent[self._consumed[site]:]
+            self._consumed[site] = len(host.sent)
+            for dst, msg in fresh:
+                if self.rng.random() < self.loss_rate:
+                    continue
+                bag.append((dst, msg))
+                if self.rng.random() < self.dup_rate:
+                    bag.append((dst, msg))
+            # Lazy sends flush too (as the piggyback sweep would).
+            for dst, msg in host.lazy_sent:
+                bag.append((dst, msg))
+            host.lazy_sent.clear()
+        return bag
+
+    def run(self, max_steps: int = 3000) -> None:
+        bag = []
+        for _ in range(max_steps):
+            bag.extend(self._collect())
+            actions = []
+            if bag:
+                actions.append("deliver")
+            for site, host in self.hosts.items():
+                if host.pending_forces:
+                    actions.append(("force", site))
+                if host.pending_durable:
+                    actions.append(("durable", site))
+                if host.timers:
+                    actions.append(("timer", site))
+            if not actions:
+                bag.extend(self._collect())
+                if not bag:
+                    return
+                actions.append("deliver")
+            action = self.rng.choice(actions)
+            if action == "deliver":
+                dst, msg = bag.pop(self.rng.randrange(len(bag)))
+                host = self.hosts.get(dst)
+                if host is not None:
+                    if (self.interceptor is not None
+                            and self.interceptor(host, msg)):
+                        continue
+                    host.deliver(msg)
+            elif action[0] == "force":
+                self.hosts[action[1]].complete_force()
+            elif action[0] == "durable":
+                self.hosts[action[1]].complete_durable()
+            else:
+                host = self.hosts[action[1]]
+                token = self.rng.choice(sorted(host.timers))
+                host.fire_timer(token)
+
+
+def outcomes_of(net: FuzzNet):
+    return {site: host.machine.outcome
+            for site, host in net.hosts.items()
+            if getattr(host.machine, "outcome", None) is not None}
+
+
+@FUZZ
+@given(seed=st.integers(min_value=0, max_value=100_000),
+       n_subs=st.integers(min_value=1, max_value=4),
+       votes=st.lists(st.sampled_from([Vote.YES, Vote.NO, Vote.READ_ONLY]),
+                      min_size=4, max_size=4),
+       dup=st.floats(min_value=0.0, max_value=0.4))
+def test_2pc_fuzz_agreement(seed, n_subs, votes, dup):
+    rng = random.Random(seed)
+    subs = [f"s{i}" for i in range(n_subs)]
+    net = FuzzNet(rng, dup_rate=dup, loss_rate=0.0)
+    coord = MachineHost(TwoPhaseCoordinator(TID1, "c0", subs))
+    net.add("c0", coord)
+    for i, site in enumerate(subs):
+        net.add(site, MachineHost(TwoPhaseSubordinate(TID1, site, "c0")))
+    coord.start()
+    coord.local_prepared(Vote.YES)
+    for i, site in enumerate(subs):
+        net.hosts[site].start()
+        net.hosts[site].local_prepared(votes[i])
+    net.run()
+    decided = outcomes_of(net)
+    assert decided.get("c0") is not None, "coordinator must decide"
+    agreed = {o for o in decided.values()}
+    assert len(agreed) == 1, f"split outcomes: {decided}"
+    if any(votes[i] is Vote.NO for i in range(n_subs)):
+        assert decided["c0"] is Outcome.ABORTED
+
+
+@FUZZ
+@given(seed=st.integers(min_value=0, max_value=100_000),
+       n_subs=st.integers(min_value=1, max_value=4),
+       votes=st.lists(st.sampled_from([Vote.YES, Vote.NO, Vote.READ_ONLY]),
+                      min_size=4, max_size=4),
+       dup=st.floats(min_value=0.0, max_value=0.4))
+def test_nb_fuzz_agreement(seed, n_subs, votes, dup):
+    rng = random.Random(seed)
+    subs = [f"s{i}" for i in range(n_subs)]
+    sites = ["c0"] + subs
+    quorum = QuorumSpec.majority(len(sites))
+
+    def stateless_edge(host, msg):
+        """TranMan's stateless layer: a read-only site that forgot the
+        transaction is rebuilt as a quorum helper on NbReplicate."""
+        from repro.core.messages import NbReplicate
+        from repro.core.nonblocking import NbSubState
+
+        machine = host.machine
+        if (isinstance(msg, NbReplicate)
+                and isinstance(machine, NbSubordinate)
+                and machine.state is NbSubState.DONE
+                and machine.outcome is None):
+            host.machine = NbSubordinate.helper(msg.tid, machine.site, msg)
+            host.deliver(msg)
+            return True
+        return False
+
+    net = FuzzNet(rng, dup_rate=dup, loss_rate=0.0,
+                  interceptor=stateless_edge)
+    coord = MachineHost(NbCoordinator(TID1, "c0", subs, quorum=quorum))
+    net.add("c0", coord)
+    for i, site in enumerate(subs):
+        net.add(site, MachineHost(NbSubordinate(TID1, site, "c0",
+                                                sites, quorum)))
+    coord.start()
+    coord.local_prepared(Vote.YES)
+    for i, site in enumerate(subs):
+        net.hosts[site].start()
+        net.hosts[site].local_prepared(votes[i])
+    net.run()
+    decided = outcomes_of(net)
+    assert decided.get("c0") is not None
+    assert len(set(decided.values())) == 1, f"split outcomes: {decided}"
+    if decided["c0"] is Outcome.COMMITTED:
+        # Commit implies a commit quorum's worth of replication records.
+        replicated = sum(
+            1 for host in net.hosts.values()
+            if any(r.kind.value == "replication" for r in host.forced))
+        assert replicated >= quorum.commit_quorum
+
+
+@FUZZ
+@given(seed=st.integers(min_value=0, max_value=100_000),
+       loss=st.floats(min_value=0.0, max_value=0.3))
+def test_2pc_fuzz_with_loss_never_splits(seed, loss):
+    """With loss, progress is not guaranteed inside the step budget —
+    but agreement among whoever decided still is."""
+    rng = random.Random(seed)
+    net = FuzzNet(rng, dup_rate=0.1, loss_rate=loss)
+    coord = MachineHost(TwoPhaseCoordinator(TID1, "c0", ["s0", "s1"]))
+    net.add("c0", coord)
+    for site in ("s0", "s1"):
+        net.add(site, MachineHost(TwoPhaseSubordinate(TID1, site, "c0")))
+    coord.start()
+    coord.local_prepared(Vote.YES)
+    for site in ("s0", "s1"):
+        net.hosts[site].start()
+        net.hosts[site].local_prepared(Vote.YES)
+    net.run(max_steps=1500)
+    decided = outcomes_of(net)
+    assert len(set(decided.values())) <= 1

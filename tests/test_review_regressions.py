@@ -1,0 +1,128 @@
+"""Regression tests for defects found in code review."""
+
+import pytest
+
+from repro import (
+    CamelotSystem,
+    Outcome,
+    ProtocolKind,
+    SystemConfig,
+    TransactionAborted,
+)
+from repro.core.outcomes import Vote
+
+
+def test_throughput_excludes_aborted_transactions():
+    """measure_throughput must count commits, not resolutions."""
+    from repro.bench.experiment import measure_throughput
+
+    # A clean run: committed count equals history's committed entries.
+    result = measure_throughput(1, 5, False, duration_ms=2_000.0,
+                                warmup_ms=200.0)
+    assert result.committed > 0
+    # The invariant is structural: the counter requires COMMITTED.
+    import inspect
+
+    src = inspect.getsource(measure_throughput)
+    assert "Outcome.COMMITTED" in src
+
+
+def test_abort_after_decision_fails_cleanly():
+    """abort-transaction racing a finished commit must answer, not hang."""
+    system = CamelotSystem(SystemConfig(sites={"a": 1, "b": 1}))
+    app = system.application("a")
+
+    def workload():
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@a", "x", 1)
+        yield from app.commit(tid)
+        # The transaction is decided and forgotten: a late abort fails.
+        with pytest.raises(TransactionAborted):
+            yield from app.abort(tid)
+        return "answered"
+
+    assert system.run_process(workload()) == "answered"
+
+
+def test_abort_during_nb_replication_fails_cleanly_not_crash():
+    """An application abort once the replication phase has begun must be
+    refused with a reply — never a protocol violation escaping the
+    TranMan (which would kill the whole run)."""
+    system = CamelotSystem(SystemConfig(sites={"a": 1, "b": 1, "c": 1}))
+    app = system.application("a")
+    state = {}
+
+    def committer():
+        tid = yield from app.begin(protocol=ProtocolKind.NON_BLOCKING)
+        state["tid"] = tid
+        for s in system.default_services():
+            yield from app.write(tid, s, "x", 1)
+        outcome = yield from app.commit(tid,
+                                        protocol=ProtocolKind.NON_BLOCKING)
+        state["outcome"] = outcome
+
+    app2 = system.application("a", name="aborter")
+
+    def aborter():
+        from repro.sim.process import Sleep
+
+        # Land inside the replication phase (~165-195 ms).
+        yield Sleep(180.0)
+        try:
+            yield from app2.abort(state["tid"])
+            state["abort"] = "accepted"
+        except TransactionAborted as exc:
+            state["abort"] = f"refused: {exc.reason}"
+
+    system.spawn(committer(), name="committer")
+    system.spawn(aborter(), name="aborter")
+    system.run_for(30_000.0)
+    # The commit finished (whatever the abort attempt said)...
+    assert state.get("outcome") in (Outcome.COMMITTED, Outcome.ABORTED)
+    # ...and the abort call got an answer rather than crashing/hanging.
+    assert "abort" in state
+
+
+def test_local_operation_timeout_honored():
+    """A timeout on a local operation must fire (dead local server)."""
+    system = CamelotSystem(SystemConfig(sites={"a": 2}))
+    app = system.application("a")
+    # Kill just the server's handler threads (not the whole site), so
+    # the port accepts mail that is never answered.
+    server = system.server("server1@a")
+    server.pool.kill()
+
+    def workload():
+        tid = yield from app.begin()
+        with pytest.raises(TransactionAborted):
+            yield from app.write(tid, "server1@a", "x", 1, timeout=300.0)
+        return "timed out cleanly"
+
+    assert system.run_process(workload(),
+                              timeout_ms=30_000.0) == "timed out cleanly"
+
+
+def test_checkpoint_preserves_committed_none():
+    """An object committed with value None survives checkpoint+recovery
+    as None (not resurrected to a stale value)."""
+    system = CamelotSystem(SystemConfig(sites={"a": 1}),
+                           initial_objects={"server0@a": {"flag": "set"}})
+    app = system.application("a")
+
+    def workload():
+        tid = yield from app.begin()
+        yield from app.write(tid, "server0@a", "flag", None)
+        yield from app.commit(tid)
+
+    system.run_process(workload())
+    system.run_for(500.0)
+    rt = system.runtime("a")
+
+    def ckpt():
+        yield from rt.diskman.checkpoint(rt.servers)
+
+    system.run_process(ckpt())
+    system.crash_site("a")
+    system.restart_site("a")
+    system.run_for(1_000.0)
+    assert system.server("server0@a").peek("flag") is None

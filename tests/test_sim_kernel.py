@@ -1,0 +1,143 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import Kernel, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Kernel().now == 0.0
+
+
+def test_schedule_and_run_advances_clock():
+    k = Kernel()
+    fired = []
+    k.schedule(5.0, fired.append, "x")
+    k.run()
+    assert fired == ["x"]
+    assert k.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    k = Kernel()
+    order = []
+    k.schedule(10.0, order.append, "late")
+    k.schedule(1.0, order.append, "early")
+    k.schedule(5.0, order.append, "middle")
+    k.run()
+    assert order == ["early", "middle", "late"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    k = Kernel()
+    order = []
+    for i in range(5):
+        k.schedule(3.0, order.append, i)
+    k.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_call_soon_runs_at_current_time():
+    k = Kernel()
+    k.schedule(7.0, lambda: k.call_soon(seen.append, k.now))
+    seen = []
+    k.run()
+    assert seen == [7.0]
+    assert k.now == 7.0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Kernel().schedule(-1.0, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    k = Kernel()
+    fired = []
+    k.schedule(5.0, fired.append, "a")
+    k.schedule(50.0, fired.append, "b")
+    k.run(until=10.0)
+    assert fired == ["a"]
+    assert k.now == 10.0
+    k.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    k = Kernel()
+    k.run(until=123.0)
+    assert k.now == 123.0
+
+
+def test_step_returns_false_when_empty():
+    assert Kernel().step() is False
+
+
+def test_timer_cancellation():
+    k = Kernel()
+    fired = []
+    timer = k.schedule(5.0, fired.append, "x")
+    assert timer.active
+    timer.cancel()
+    assert not timer.active
+    k.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    k = Kernel()
+    timer = k.schedule(5.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    k.run()
+
+
+def test_timer_inactive_after_firing():
+    k = Kernel()
+    timer = k.schedule(1.0, lambda: None)
+    k.run()
+    assert not timer.active
+
+
+def test_pending_counts_uncancelled():
+    k = Kernel()
+    t1 = k.schedule(1.0, lambda: None)
+    k.schedule(2.0, lambda: None)
+    assert k.pending == 2
+    t1.cancel()
+    assert k.pending == 1
+
+
+def test_events_scheduled_during_run_execute():
+    k = Kernel()
+    result = []
+
+    def first():
+        k.schedule(5.0, result.append, "second")
+
+    k.schedule(1.0, first)
+    k.run()
+    assert result == ["second"]
+    assert k.now == 6.0
+
+
+def test_max_events_guards_livelock():
+    k = Kernel()
+
+    def loop():
+        k.schedule(0.0, loop)
+
+    k.schedule(0.0, loop)
+    with pytest.raises(SimulationError, match="max_events"):
+        k.run(max_events=100)
+
+
+def test_reentrant_run_rejected():
+    k = Kernel()
+
+    def inner():
+        k.run()
+
+    k.schedule(0.0, inner)
+    with pytest.raises(SimulationError, match="reentrant"):
+        k.run()

@@ -1,0 +1,115 @@
+"""Soak test: a mixed workload with mid-run failures, checked globally.
+
+Four sites run concurrent transfer transactions (both protocols, random
+routes) while one site crashes and recovers mid-run.  At the end:
+
+- **conservation**: no money was created or destroyed across all
+  committed state (transfers are zero-sum);
+- **agreement**: every transaction's tombstones are identical at every
+  site that has one;
+- **liveness**: locks are all free and the system still commits fresh
+  transactions.
+"""
+
+import pytest
+
+from repro import CamelotSystem, Outcome, ProtocolKind, SystemConfig
+from repro.bench.workloads import transfer
+
+SITES = ["a", "b", "c", "d"]
+ACCOUNTS = {f"server0@{s}": {"acct": 1000} for s in SITES}
+TOTAL = 1000 * len(SITES)
+
+
+def build():
+    return CamelotSystem(
+        SystemConfig(sites={s: 1 for s in SITES}, seed=11),
+        initial_objects={k: dict(v) for k, v in ACCOUNTS.items()})
+
+
+def money_total(system):
+    return sum(system.server(f"server0@{s}").peek("acct") or 0
+               for s in SITES)
+
+
+def driver(system, app, routes, protocol):
+    def body():
+        for src, dst in routes:
+            try:
+                tid = yield from app.begin(protocol=protocol)
+                ok = yield from transfer(app, tid, f"server0@{src}", "acct",
+                                         f"server0@{dst}", "acct", 10)
+                if ok:
+                    yield from app.commit(tid, protocol=protocol)
+                else:
+                    yield from app.abort(tid)
+            except Exception:
+                # Lost coordinator, timed-out operation, refused commit:
+                # keep driving.  (ProcessKilled/GeneratorExit are
+                # BaseException and must propagate.)
+                continue
+
+    return body
+
+
+@pytest.mark.parametrize("crash_site", ["b", "a"])
+def test_soak_with_crash_and_recovery(crash_site):
+    system = build()
+    rng_routes = [
+        [("a", "b"), ("b", "c"), ("a", "c")],
+        [("c", "d"), ("d", "a"), ("b", "d")],
+        [("d", "b"), ("c", "a"), ("a", "d")],
+    ]
+    protocols = [ProtocolKind.TWO_PHASE, ProtocolKind.NON_BLOCKING,
+                 ProtocolKind.TWO_PHASE]
+    for i, (routes, protocol) in enumerate(zip(rng_routes, protocols)):
+        app = system.application(SITES[i], name=f"driver{i}")
+        system.spawn(driver(system, app, routes, protocol)(),
+                     name=f"driver{i}")
+    system.failures.crash_at(300.0, crash_site)
+    system.failures.restart_at(6_000.0, crash_site)
+    system.run_for(90_000.0)
+
+    # Conservation: transfers are zero-sum over committed state.
+    assert money_total(system) == TOTAL
+
+    # Agreement: tombstones never conflict across sites.
+    all_tids = set()
+    for s in SITES:
+        all_tids.update(system.tranman(s).tombstones)
+    for tid in all_tids:
+        outcomes = {system.tranman(s).tombstones[tid]
+                    for s in SITES if tid in system.tranman(s).tombstones}
+        assert len(outcomes) == 1, f"{tid}: {outcomes}"
+
+    # Liveness: all locks free, and a fresh transaction still commits.
+    for s in SITES:
+        assert system.server(f"server0@{s}").locks.locked_objects() == [], s
+    app = system.application("a", name="post")
+
+    def fresh():
+        tid = yield from app.begin()
+        ok = yield from transfer(app, tid, "server0@a", "acct",
+                                 "server0@d", "acct", 5)
+        assert ok
+        outcome = yield from app.commit(tid)
+        return outcome
+
+    assert system.run_process(fresh()) is Outcome.COMMITTED
+    assert money_total(system) == TOTAL
+
+
+def test_soak_no_failures_high_concurrency():
+    """Nine concurrent drivers, no failures: pure serialization check."""
+    system = build()
+    for i in range(9):
+        src = SITES[i % 4]
+        dst = SITES[(i + 1) % 4]
+        app = system.application(src, name=f"d{i}")
+        routes = [(src, dst)] * 4
+        system.spawn(driver(system, app, routes,
+                            ProtocolKind.TWO_PHASE)(), name=f"d{i}")
+    system.run_for(60_000.0)
+    assert money_total(system) == TOTAL
+    for s in SITES:
+        assert system.server(f"server0@{s}").locks.locked_objects() == []

@@ -1,0 +1,62 @@
+"""The analytic throughput model vs. the simulation (Figures 4-5).
+
+Like the paper's latency static analysis, the model is approximate —
+the tests require (a) the right bottleneck story and curve ordering,
+and (b) agreement with the simulation within a generous band.
+"""
+
+import pytest
+
+from repro.analysis.throughput_model import predict
+from repro.bench.experiment import measure_throughput
+
+
+def test_update_bottleneck_story():
+    """1 pair: offered-load bound.  4 pairs unbatched: logger bound.
+    1 thread: TranMan bound.  Group commit: lifts the logger ceiling."""
+    assert predict(1, 20, False).bottleneck == "offered"
+    assert predict(4, 20, False).bottleneck == "logger"
+    assert predict(4, 1, False).bottleneck == "tranman_threads"
+    assert predict(4, 20, True).disk_ceiling_tps \
+        > predict(4, 20, False).disk_ceiling_tps
+
+
+def test_read_bottleneck_story():
+    """Reads never touch the logger; one thread saturates around two
+    clients (the paper's claim, as a model property)."""
+    assert predict(4, 20, False, op="read").disk_ceiling_tps == float("inf")
+    one_thread = [predict(n, 1, False, op="read").tps for n in (1, 2, 3, 4)]
+    # Gains flatten: from 2 pairs on, the thread ceiling binds.
+    assert one_thread[1] > one_thread[0] * 1.3
+    assert one_thread[3] < one_thread[1] * 1.15
+    assert predict(3, 1, False, op="read").bottleneck == "tranman_threads"
+
+
+def test_model_curve_ordering_matches_figure4():
+    for pairs in (1, 2, 3, 4):
+        gc = predict(pairs, 20, True).tps
+        plain = predict(pairs, 20, False).tps
+        single = predict(pairs, 1, False).tps
+        assert single <= plain + 1e-9
+    # At saturation, group commit wins.
+    assert predict(4, 20, True).tps > predict(4, 20, False).tps
+
+
+@pytest.mark.parametrize("pairs,threads,gc,op", [
+    (1, 20, False, "write"),
+    (4, 20, False, "write"),
+    (4, 20, True, "write"),
+    (4, 1, False, "write"),
+    (1, 1, False, "read"),
+    (3, 1, False, "read"),
+    (4, 20, False, "read"),
+])
+def test_model_within_40_percent_of_simulation(pairs, threads, gc, op):
+    predicted = predict(pairs, threads, gc, op=op).tps
+    simulated = measure_throughput(pairs, threads, gc, op=op,
+                                   duration_ms=6_000.0).tps
+    assert simulated > 0
+    ratio = predicted / simulated
+    assert 0.6 <= ratio <= 1.4, (
+        f"pairs={pairs} threads={threads} gc={gc} op={op}: "
+        f"predicted {predicted:.1f}, simulated {simulated:.1f}")

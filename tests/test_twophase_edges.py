@@ -1,0 +1,103 @@
+"""Additional 2PC edge cases: recovery interplay, late messages, and
+force/crash interleavings at the WAL level."""
+
+import pytest
+
+from repro.core.messages import (
+    CommitAck,
+    CommitNotice,
+    PrepareRequest,
+    TxnInquiry,
+    VoteResponse,
+)
+from repro.core.outcomes import Outcome, TwoPhaseVariant, Vote
+from repro.core.tid import TID
+from repro.core.twophase import (
+    CoordinatorState,
+    TwoPhaseCoordinator,
+    TwoPhaseSubordinate,
+)
+
+from tests.machine_harness import MachineHost
+
+TID1 = TID("T1@a")
+
+
+def test_recovered_coordinator_handles_duplicate_acks():
+    machine = TwoPhaseCoordinator.recovered(TID1, "a", ["b"])
+    host = MachineHost(machine)
+    host.execute(machine.resume_notifications())
+    host.deliver(CommitAck(tid=TID1, sender="b"))
+    host.deliver(CommitAck(tid=TID1, sender="b"))
+    assert host.forgotten == [TID1]
+
+
+def test_recovered_coordinator_answers_inquiries():
+    machine = TwoPhaseCoordinator.recovered(TID1, "a", ["b", "c"])
+    host = MachineHost(machine)
+    host.execute(machine.resume_notifications())
+    host.deliver(TxnInquiry(tid=TID1, sender="c"))
+    from repro.core.messages import InquiryResponse
+
+    answers = [m for _, m in host.sent if isinstance(m, InquiryResponse)]
+    assert answers and answers[0].outcome is Outcome.COMMITTED
+
+
+def test_vote_arriving_during_commit_force_is_ignored():
+    """A duplicate vote between the decision and the force completion
+    must not re-trigger the decision."""
+    host = MachineHost(TwoPhaseCoordinator(TID1, "a", ["b"])).start()
+    host.local_prepared(Vote.YES)
+    host.deliver(VoteResponse(tid=TID1, sender="b", vote=Vote.YES))
+    assert host.machine.state is CoordinatorState.FORCING_COMMIT
+    host.deliver(VoteResponse(tid=TID1, sender="b", vote=Vote.YES))
+    assert len(host.forced) == 1
+    host.complete_force()
+    assert host.completions == [Outcome.COMMITTED]
+
+
+def test_commit_notice_before_prepare_force_completes():
+    """Cannot happen from a correct coordinator (it has no YES vote
+    yet), but a duplicate/reordered notice must not corrupt the
+    subordinate: it is ignored until PREPARED."""
+    host = MachineHost(TwoPhaseSubordinate(TID1, "b", "a")).start()
+    host.local_prepared(Vote.YES)
+    # Force still pending.
+    host.deliver(CommitNotice(tid=TID1, sender="a"))
+    assert host.local_commits == []
+    host.complete_force()
+    # Now the real notice commits.
+    host.deliver(CommitNotice(tid=TID1, sender="a"))
+    assert host.local_commits == [TID1]
+
+
+def test_prepare_retry_during_local_prepare_is_harmless():
+    host = MachineHost(TwoPhaseSubordinate(TID1, "b", "a")).start()
+    host.deliver(PrepareRequest(tid=TID1, sender="a"))  # duplicate
+    assert host.sent == []  # no vote before the local prepare answers
+    host.local_prepared(Vote.YES)
+    host.complete_force()
+    assert host.sent_kinds() == ["VoteResponse"]
+
+
+def test_coordinator_multicast_retry_uses_unicast_for_stragglers():
+    from repro.core.twophase import VOTE_TIMER
+
+    host = MachineHost(TwoPhaseCoordinator(
+        TID1, "a", ["b", "c", "d"], use_multicast=True)).start()
+    host.local_prepared(Vote.YES)
+    host.deliver(VoteResponse(tid=TID1, sender="b", vote=Vote.YES))
+    host.deliver(VoteResponse(tid=TID1, sender="c", vote=Vote.YES))
+    before = len(host.sent)
+    host.fire_timer(VOTE_TIMER)
+    retried = host.sent[before:]
+    # Only the straggler is re-prepared.
+    assert [dst for dst, _ in retried] == ["d"]
+
+
+def test_abort_timer_tokens_do_not_cross_machines():
+    """Firing an unknown timer token is a no-op on every machine."""
+    coordinator = MachineHost(TwoPhaseCoordinator(TID1, "a", ["b"])).start()
+    assert coordinator.machine.on_timer("bogus.token") == []
+    sub = MachineHost(TwoPhaseSubordinate(TID1, "b", "a")).start()
+    assert sub.machine.on_timer("bogus.token") == []
