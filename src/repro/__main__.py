@@ -5,10 +5,19 @@ Usage::
     python -m repro list
     python -m repro figure2 --trials 30
     python -m repro figure4 --duration 10000
-    python -m repro all
+    python -m repro all --jobs 4              # fan cells across processes
+    python -m repro all --trials-scale 4      # 4x the trials, same shape
+    python -m repro figure2 --no-cache        # force recomputation
 
 Each experiment prints in the paper's format; see EXPERIMENTS.md for a
 recorded run and the benchmarks/ suite for the asserted shape checks.
+
+Every multi-cell experiment (Figures 2-5, Table 3, multicast variance,
+the ablations) goes through :mod:`repro.bench.parallel`: ``--jobs N``
+fans the independent cells across N worker processes with results keyed
+by cell spec, so output is byte-identical to a serial run.  Results are
+memoised in an on-disk cache (:mod:`repro.bench.cache`) keyed by cell
+spec, seed, and cost-model fingerprint; ``--no-cache`` bypasses it.
 """
 
 from __future__ import annotations
@@ -19,12 +28,8 @@ from typing import Callable, Dict
 
 from repro.analysis.primitives import table2_rows
 from repro.bench import figures
-from repro.bench.ablations import (
-    group_commit_window_ablation,
-    protocol_overhead_ablation,
-    quorum_policy_ablation,
-    read_only_ablation,
-)
+from repro.bench.cache import ResultCache
+from repro.bench.parallel import Cell, cell_values, run_cells
 from repro.bench.report import (
     render_figure,
     render_multicast,
@@ -60,30 +65,39 @@ def run_rpc(args: argparse.Namespace) -> str:
 
 def run_figure2(args: argparse.Namespace) -> str:
     return render_figure("Figure 2  2PC latency vs subordinates (ms)",
-                         figures.figure2(trials=args.trials))
+                         figures.figure2(trials=args.trials,
+                                         jobs=args.jobs, cache=args.cache))
 
 
 def run_table3(args: argparse.Namespace) -> str:
-    return render_table3(figures.table3(trials=args.trials))
+    return render_table3(figures.table3(trials=args.trials,
+                                        jobs=args.jobs, cache=args.cache))
 
 
 def run_figure3(args: argparse.Namespace) -> str:
     return render_figure("Figure 3  Non-blocking latency vs subordinates (ms)",
-                         figures.figure3(trials=args.trials))
+                         figures.figure3(trials=args.trials,
+                                         jobs=args.jobs, cache=args.cache))
 
 
 def run_figure4(args: argparse.Namespace) -> str:
     return render_throughput("Figure 4  Update throughput (TPS)",
-                             figures.figure4(duration_ms=args.duration))
+                             figures.figure4(duration_ms=args.duration,
+                                             jobs=args.jobs,
+                                             cache=args.cache))
 
 
 def run_figure5(args: argparse.Namespace) -> str:
     return render_throughput("Figure 5  Read throughput (TPS)",
-                             figures.figure5(duration_ms=args.duration))
+                             figures.figure5(duration_ms=args.duration,
+                                             jobs=args.jobs,
+                                             cache=args.cache))
 
 
 def run_multicast(args: argparse.Namespace) -> str:
-    return render_multicast(figures.multicast_variance(trials=args.trials))
+    return render_multicast(figures.multicast_variance(trials=args.trials,
+                                                       jobs=args.jobs,
+                                                       cache=args.cache))
 
 
 def run_contention(args: argparse.Namespace) -> str:
@@ -94,28 +108,35 @@ def run_contention(args: argparse.Namespace) -> str:
 
 
 def run_ablations(args: argparse.Namespace) -> str:
+    # Four independent studies: submit them as cells so --jobs overlaps
+    # them (each is internally serial but they share nothing).
+    cells = [
+        Cell.make("read_only_ablation", trials=max(8, args.trials // 2)),
+        Cell.make("quorum_policy_ablation", trials=max(6, args.trials // 3)),
+        Cell.make("group_commit_window_ablation"),
+        Cell.make("protocol_overhead_ablation",
+                  trials=max(4, args.trials // 4)),
+    ]
+    ro, quorum, window, overhead = cell_values(
+        run_cells(cells, jobs=args.jobs, cache=args.cache))
     parts = []
-    ro = read_only_ablation(trials=max(8, args.trials // 2))
     parts.append(render_table(
         "Ablation: read-only optimization (1-sub read)",
         ["CONFIG", "LATENCY ms", "FORCES/txn"],
         [("on", f"{ro.optimized.mean:6.1f}", f"{ro.optimized_forces:.1f}"),
          ("off", f"{ro.unoptimized.mean:6.1f}",
           f"{ro.unoptimized_forces:.1f}")]))
-    quorum = quorum_policy_ablation(trials=max(6, args.trials // 3))
     parts.append(render_table(
         "Ablation: non-blocking quorum policy",
         ["POLICY", "LATENCY ms", "SURVIVORS DECIDE?"],
         [(p, f"{quorum.latency[p].mean:6.1f}",
           "yes" if quorum.survivors_decide[p] else "NO")
          for p in sorted(quorum.latency)]))
-    window = group_commit_window_ablation()
     parts.append(render_table(
         "Ablation: group-commit window",
         ["WINDOW ms", "TPS", "LATENCY ms"],
         [(f"{p.window_ms:.0f}", f"{p.tps:6.1f}",
           f"{p.mean_latency_ms:7.1f}") for p in window]))
-    overhead = protocol_overhead_ablation(trials=max(4, args.trials // 4))
     parts.append(render_table(
         "Ablation: NB-vs-2PC overhead by size and network",
         ["NET", "OPS", "2PC ms", "NB ms", "PREMIUM"],
@@ -149,9 +170,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="which experiment to run")
     parser.add_argument("--trials", type=int, default=20,
                         help="trials per measurement point (default 20)")
+    parser.add_argument("--trials-scale", type=float, default=1.0,
+                        help="multiply every trial count (crank statistics "
+                             "without re-deriving per-figure counts)")
     parser.add_argument("--duration", type=float, default=8_000.0,
                         help="throughput window in sim-ms (default 8000)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent cells "
+                             "(default 1 = in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every cell, bypassing the on-disk "
+                             "result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default .repro-cache "
+                             "or $REPRO_CACHE_DIR)")
     args = parser.parse_args(argv)
+    args.trials = max(1, round(args.trials * args.trials_scale))
+    args.cache = None if args.no_cache else ResultCache(args.cache_dir)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

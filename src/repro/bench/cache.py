@@ -1,0 +1,149 @@
+"""Content-addressed on-disk cache for experiment cells.
+
+``python -m repro all`` recomputes every figure from scratch even when
+nothing changed.  Every cell is deterministic given its spec (function +
+kwargs, which include the seed) and the cost model constants it reads,
+so the pair fingerprints the result exactly:
+
+    key = sha256(cache format version,
+                 cost-model fingerprint,   # all stock profiles, field by field
+                 cell function name,
+                 canonicalised kwargs)
+
+The cost-model fingerprint hashes every field of every stock profile in
+:data:`repro.config.PROFILES` (``rt_pc``, ``vax_mp``, ``wan``), so editing
+any constant in ``config.py`` — or adding a profile — invalidates the
+whole cache rather than serving stale physics.  Kwargs are canonicalised
+structurally (enums to ``class.value``, dataclasses to sorted dicts,
+tuples to lists) so logically equal cells share a key.
+
+Values are stored one pickle per key under the cache root
+(``.repro-cache/`` by default, override with ``$REPRO_CACHE_DIR``).
+Writes are atomic (tmp file + rename) so a killed run never leaves a
+truncated entry; unreadable entries are treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from repro.config import PROFILES
+
+# Bump when the on-disk format or result dataclasses change shape.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-stable primitives for hashing."""
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, obj.value]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__name__,
+                "fields": _canonical(asdict(obj))}
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def cost_model_fingerprint() -> str:
+    """Hash of every field of every stock cost profile.
+
+    Cells build their profiles internally (e.g. ``rt_pc_profile()``
+    inside ``measure_latency``), so the cache keys on the constants those
+    constructors would produce *today*: change one and every key moves.
+    """
+    blob = {name: _canonical(factory()) for name, factory in
+            sorted(PROFILES.items())}
+    payload = json.dumps(blob, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-key result store for :class:`~repro.bench.parallel.Cell`.
+
+    ``get`` returns ``(hit, value)`` so a cached ``None`` result is
+    distinguishable from a miss.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = Path(root
+                         or os.environ.get("REPRO_CACHE_DIR")
+                         or DEFAULT_CACHE_DIR)
+        self._fingerprint = cost_model_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, cell: Any) -> str:
+        payload = json.dumps(
+            {"version": CACHE_VERSION,
+             "cost_model": self._fingerprint,
+             "fn": cell.fn,
+             "kwargs": _canonical(dict(cell.kwargs))},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, cell: Any) -> Tuple[bool, Any]:
+        path = self._path(self.key(cell))
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            # Truncated or stale-format entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, cell: Any, value: Any) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(self.key(cell))
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.pkl"))) if self.root.is_dir() else 0

@@ -4,7 +4,14 @@ Every function is deterministic given its arguments (fresh seeded
 system per measurement) and returns plain data structures the
 ``benchmarks/`` suite asserts on and renders.  Trial counts default to
 values that keep a full regeneration under a few minutes of wall time;
-crank them up for smoother curves.
+crank them up for smoother curves — with ``jobs > 1`` the sweep fans
+across worker processes (see :mod:`repro.bench.parallel`), so higher
+trial counts no longer trade statistical quality for wall time.
+
+The multi-cell figures (2-5, Table 3, multicast variance) build lists
+of :class:`~repro.bench.parallel.Cell` specs and submit them through
+:func:`~repro.bench.parallel.run_cells`; results are keyed by cell, so
+serial, parallel, and cache-restored runs are byte-identical.
 """
 
 from __future__ import annotations
@@ -28,11 +35,13 @@ from repro.analysis.static_analysis import (
     twophase_update_completion,
 )
 from repro.analysis.stats import Summary, summarize
-from repro.bench.experiment import (
-    LatencyResult,
-    ThroughputResult,
-    measure_latency,
-    measure_throughput,
+from repro.bench.experiment import LatencyResult, ThroughputResult
+from repro.bench.parallel import (
+    Cell,
+    cell_values,
+    latency_cell,
+    run_cells,
+    throughput_cell,
 )
 from repro.config import SystemConfig, rt_pc_profile
 from repro.core.outcomes import ProtocolKind, TwoPhaseVariant
@@ -203,26 +212,35 @@ class FigureSeries:
         return [r.summary.stdev for _, r in self.points]
 
 
-def figure2(trials: int = 25,
-            subs_range: Tuple[int, ...] = SUBS_RANGE) -> Dict[str, FigureSeries]:
-    """Figure 2: two-phase commit latency vs number of subordinates for
-    the three write variants plus read, with derived TM-only series."""
-    series: Dict[str, FigureSeries] = {}
+def figure2_cells(trials: int = 25,
+                  subs_range: Tuple[int, ...] = SUBS_RANGE
+                  ) -> List[Tuple[str, int, Cell]]:
+    """The (label, subs, cell) grid behind Figure 2."""
     variants = [
         ("optimized write", "write", TwoPhaseVariant.OPTIMIZED),
         ("semi-optimized write", "write", TwoPhaseVariant.SEMI_OPTIMIZED),
         ("unoptimized write", "write", TwoPhaseVariant.UNOPTIMIZED),
         ("read", "read", TwoPhaseVariant.OPTIMIZED),
     ]
-    for label, op, variant in variants:
-        fs = FigureSeries(label=label)
-        for subs in subs_range:
-            result = measure_latency(subs, op=op,
-                                     protocol=ProtocolKind.TWO_PHASE,
-                                     variant=variant, trials=trials,
-                                     label=f"{label}/{subs} subs")
-            fs.points.append((subs, result))
-        series[label] = fs
+    return [(label, subs,
+             latency_cell(n_subs=subs, op=op,
+                          protocol=ProtocolKind.TWO_PHASE, variant=variant,
+                          trials=trials, label=f"{label}/{subs} subs"))
+            for label, op, variant in variants for subs in subs_range]
+
+
+def figure2(trials: int = 25,
+            subs_range: Tuple[int, ...] = SUBS_RANGE,
+            jobs: int = 1, cache=None) -> Dict[str, FigureSeries]:
+    """Figure 2: two-phase commit latency vs number of subordinates for
+    the three write variants plus read, with derived TM-only series."""
+    grid = figure2_cells(trials, subs_range)
+    results = cell_values(run_cells([c for _, _, c in grid],
+                                    jobs=jobs, cache=cache))
+    series: Dict[str, FigureSeries] = {}
+    for (label, subs, _), result in zip(grid, results):
+        series.setdefault(label, FigureSeries(label=label)) \
+              .points.append((subs, result))
     return series
 
 
@@ -242,53 +260,52 @@ class Table3Row:
         return self.static_path.total
 
 
-def table3(trials: int = 25) -> List[Table3Row]:
+def table3(trials: int = 25, jobs: int = 1, cache=None) -> List[Table3Row]:
     """Table 3: static versus empirical analysis for the three anchor
     cases the paper tabulates, with the paper's own numbers attached."""
-    rows: List[Table3Row] = []
-    local_update = measure_latency(0, op="write", trials=trials)
-    rows.append(Table3Row("local update", local_update_completion(),
-                          local_update.summary,
-                          paper_static=24.5, paper_measured=31.0))
-    one_sub = measure_latency(1, op="write", trials=trials)
-    rows.append(Table3Row("1-subordinate update",
-                          twophase_update_completion(1), one_sub.summary,
-                          paper_static=99.5, paper_measured=110.0))
-    local_read = measure_latency(0, op="read", trials=trials)
-    rows.append(Table3Row("local read", local_read_completion(),
-                          local_read.summary,
-                          paper_static=9.5, paper_measured=13.0))
-    nb_one = measure_latency(1, op="write",
-                             protocol=ProtocolKind.NON_BLOCKING,
-                             trials=trials)
-    rows.append(Table3Row("1-subordinate NB update",
-                          nonblocking_update_completion(1), nb_one.summary,
-                          paper_static=150.0, paper_measured=145.0))
-    nb_read = measure_latency(1, op="read",
-                              protocol=ProtocolKind.NON_BLOCKING,
-                              trials=trials)
-    rows.append(Table3Row("1-subordinate NB read",
-                          nonblocking_read_completion(1), nb_read.summary,
-                          paper_static=70.0, paper_measured=107.0))
-    return rows
+    anchors = [
+        ("local update", local_update_completion(), 24.5, 31.0,
+         latency_cell(n_subs=0, op="write", trials=trials)),
+        ("1-subordinate update", twophase_update_completion(1), 99.5, 110.0,
+         latency_cell(n_subs=1, op="write", trials=trials)),
+        ("local read", local_read_completion(), 9.5, 13.0,
+         latency_cell(n_subs=0, op="read", trials=trials)),
+        ("1-subordinate NB update", nonblocking_update_completion(1),
+         150.0, 145.0,
+         latency_cell(n_subs=1, op="write",
+                      protocol=ProtocolKind.NON_BLOCKING, trials=trials)),
+        ("1-subordinate NB read", nonblocking_read_completion(1),
+         70.0, 107.0,
+         latency_cell(n_subs=1, op="read",
+                      protocol=ProtocolKind.NON_BLOCKING, trials=trials)),
+    ]
+    results = cell_values(run_cells([c for *_, c in anchors],
+                                    jobs=jobs, cache=cache))
+    return [Table3Row(label, static, result.summary,
+                      paper_static=p_static, paper_measured=p_measured)
+            for (label, static, p_static, p_measured, _), result
+            in zip(anchors, results)]
 
 
 # ------------------------------------------------------------- Figure 3
 
 
 def figure3(trials: int = 25,
-            subs_range: Tuple[int, ...] = SUBS_RANGE) -> Dict[str, FigureSeries]:
+            subs_range: Tuple[int, ...] = SUBS_RANGE,
+            jobs: int = 1, cache=None) -> Dict[str, FigureSeries]:
     """Figure 3: non-blocking commit latency vs subordinates."""
+    grid = [(label, subs,
+             latency_cell(n_subs=subs, op=op,
+                          protocol=ProtocolKind.NON_BLOCKING, trials=trials,
+                          label=f"NB {label}/{subs} subs"))
+            for label, op in (("write", "write"), ("read", "read"))
+            for subs in subs_range]
+    results = cell_values(run_cells([c for _, _, c in grid],
+                                    jobs=jobs, cache=cache))
     series: Dict[str, FigureSeries] = {}
-    for label, op in (("write", "write"), ("read", "read")):
-        fs = FigureSeries(label=label)
-        for subs in subs_range:
-            result = measure_latency(subs, op=op,
-                                     protocol=ProtocolKind.NON_BLOCKING,
-                                     trials=trials,
-                                     label=f"NB {label}/{subs} subs")
-            fs.points.append((subs, result))
-        series[label] = fs
+    for (label, subs, _), result in zip(grid, results):
+        series.setdefault(label, FigureSeries(label=label)) \
+              .points.append((subs, result))
     return series
 
 
@@ -304,37 +321,51 @@ class ThroughputCurve:
         return [p.tps for p in self.points]
 
 
-def figure4(pairs_range: Tuple[int, ...] = (1, 2, 3, 4),
-            duration_ms: float = 8_000.0) -> Dict[str, ThroughputCurve]:
-    """Figure 4: update throughput vs application/server pairs, for
-    TranMan thread counts 1/5/20 and with group commit."""
+def figure4_cells(pairs_range: Tuple[int, ...] = (1, 2, 3, 4),
+                  duration_ms: float = 8_000.0) -> List[Tuple[str, Cell]]:
+    """The (label, cell) grid behind Figure 4."""
     configs = [
         ("group commit, 20 threads", 20, True),
         ("20 threads", 20, False),
         ("5 threads", 5, False),
         ("1 thread", 1, False),
     ]
+    return [(label,
+             throughput_cell(pairs=pairs, threads=threads, group_commit=gc,
+                             op="write", duration_ms=duration_ms))
+            for label, threads, gc in configs for pairs in pairs_range]
+
+
+def figure4(pairs_range: Tuple[int, ...] = (1, 2, 3, 4),
+            duration_ms: float = 8_000.0,
+            jobs: int = 1, cache=None) -> Dict[str, ThroughputCurve]:
+    """Figure 4: update throughput vs application/server pairs, for
+    TranMan thread counts 1/5/20 and with group commit."""
+    grid = figure4_cells(pairs_range, duration_ms)
+    results = cell_values(run_cells([c for _, c in grid],
+                                    jobs=jobs, cache=cache))
     out: Dict[str, ThroughputCurve] = {}
-    for label, threads, gc in configs:
-        curve = ThroughputCurve(label=label)
-        for pairs in pairs_range:
-            curve.points.append(measure_throughput(
-                pairs, threads, gc, op="write", duration_ms=duration_ms))
-        out[label] = curve
+    for (label, _), result in zip(grid, results):
+        out.setdefault(label, ThroughputCurve(label=label)) \
+           .points.append(result)
     return out
 
 
 def figure5(pairs_range: Tuple[int, ...] = (1, 2, 3, 4),
-            duration_ms: float = 8_000.0) -> Dict[str, ThroughputCurve]:
+            duration_ms: float = 8_000.0,
+            jobs: int = 1, cache=None) -> Dict[str, ThroughputCurve]:
     """Figure 5: read throughput vs pairs for 1/5/20 TranMan threads."""
+    grid = [(f"{threads} thread" + ("s" if threads > 1 else ""),
+             throughput_cell(pairs=pairs, threads=threads,
+                             group_commit=False, op="read",
+                             duration_ms=duration_ms))
+            for threads in (20, 5, 1) for pairs in pairs_range]
+    results = cell_values(run_cells([c for _, c in grid],
+                                    jobs=jobs, cache=cache))
     out: Dict[str, ThroughputCurve] = {}
-    for threads in (20, 5, 1):
-        label = f"{threads} thread" + ("s" if threads > 1 else "")
-        curve = ThroughputCurve(label=label)
-        for pairs in pairs_range:
-            curve.points.append(measure_throughput(
-                pairs, threads, False, op="read", duration_ms=duration_ms))
-        out[label] = curve
+    for (label, _), result in zip(grid, results):
+        out.setdefault(label, ThroughputCurve(label=label)) \
+           .points.append(result)
     return out
 
 
@@ -354,7 +385,8 @@ class MulticastComparison:
         return 1.0 - self.multicast.stdev / self.unicast.stdev
 
 
-def multicast_variance(trials: int = 40, subs: int = 3) -> MulticastComparison:
+def multicast_variance(trials: int = 40, subs: int = 3,
+                       jobs: int = 1, cache=None) -> MulticastComparison:
     """§4.2: multicasting coordinator->subordinate messages does not
     reduce mean commit latency but substantially reduces its variance.
 
@@ -363,10 +395,12 @@ def multicast_variance(trials: int = 40, subs: int = 3) -> MulticastComparison:
     operation RPCs before it are identical in both modes and would
     otherwise swamp the comparison.
     """
-    uni = measure_latency(subs, op="write", trials=trials,
-                          use_multicast=False, label="unicast")
-    multi = measure_latency(subs, op="write", trials=trials,
-                            use_multicast=True, label="multicast")
+    uni, multi = cell_values(run_cells(
+        [latency_cell(n_subs=subs, op="write", trials=trials,
+                      use_multicast=False, label="unicast"),
+         latency_cell(n_subs=subs, op="write", trials=trials,
+                      use_multicast=True, label="multicast")],
+        jobs=jobs, cache=cache))
     return MulticastComparison(unicast=uni.commit_summary,
                                multicast=multi.commit_summary)
 

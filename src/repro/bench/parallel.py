@@ -1,0 +1,175 @@
+"""Parallel experiment runner: fan independent cells across processes.
+
+Every measurement in the figure/ablation suite is deterministic given
+``(parameters, seed)`` and shares no state with any other measurement —
+each one builds a fresh seeded :class:`~repro.system.CamelotSystem`.
+Regeneration is therefore embarrassingly parallel: a figure is a list of
+*cells* (one ``measure_latency``/``measure_throughput``/ablation call
+each) that can run in any order, in any process, and still produce
+byte-identical results.
+
+The unit of work is a :class:`Cell`: a picklable, hashable description
+of one registry function call.  :func:`run_cells` executes a list of
+cells, optionally across a :class:`~concurrent.futures.ProcessPoolExecutor`,
+and always returns outcomes **in input order** (keyed by cell index, not
+completion order), so parallel and serial runs are indistinguishable to
+callers.  When ``jobs <= 1``, when there is at most one cell to run, or
+when the platform cannot spawn worker processes, execution falls back to
+the in-process loop.
+
+A :class:`~repro.bench.cache.ResultCache` can be threaded through to
+skip cells whose inputs (spec + seed + cost-model fingerprint) have not
+changed since a previous run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench import ablations
+from repro.bench.experiment import measure_latency, measure_throughput
+
+# Functions a Cell may name.  Workers resolve the name in their own
+# interpreter, so only module-level callables belong here.
+REGISTRY: Dict[str, Callable[..., Any]] = {
+    "measure_latency": measure_latency,
+    "measure_throughput": measure_throughput,
+    "read_only_ablation": ablations.read_only_ablation,
+    "quorum_policy_ablation": ablations.quorum_policy_ablation,
+    "group_commit_window_ablation": ablations.group_commit_window_ablation,
+    "protocol_overhead_ablation": ablations.protocol_overhead_ablation,
+}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One experiment cell: a registry function plus keyword arguments.
+
+    ``kwargs`` is a sorted tuple of ``(name, value)`` pairs so cells are
+    hashable (cache keys) and picklable (pool submission) while staying
+    order-insensitive in construction.
+    """
+
+    fn: str
+    kwargs: Tuple[Tuple[str, Any], ...]
+
+    @staticmethod
+    def make(fn: str, **kwargs: Any) -> "Cell":
+        if fn not in REGISTRY:
+            raise KeyError(f"unknown cell function {fn!r}; "
+                           f"registry has {sorted(REGISTRY)}")
+        return Cell(fn=fn, kwargs=tuple(sorted(kwargs.items())))
+
+    def call(self) -> Any:
+        return REGISTRY[self.fn](**dict(self.kwargs))
+
+    def describe(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.kwargs)
+        return f"{self.fn}({args})"
+
+
+def latency_cell(**kwargs: Any) -> Cell:
+    """A :func:`~repro.bench.experiment.measure_latency` cell."""
+    return Cell.make("measure_latency", **kwargs)
+
+
+def throughput_cell(**kwargs: Any) -> Cell:
+    """A :func:`~repro.bench.experiment.measure_throughput` cell."""
+    return Cell.make("measure_throughput", **kwargs)
+
+
+@dataclass
+class CellOutcome:
+    """One executed (or cache-restored) cell, with provenance."""
+
+    cell: Cell
+    value: Any
+    elapsed_s: float          # host seconds spent computing (0 if cached)
+    cached: bool = False
+    worker_pid: int = 0
+
+
+def _execute(cell: Cell) -> Tuple[Any, float, int]:
+    """Worker entry point: run one cell, timing it (module-level so the
+    process pool can pickle it)."""
+    start = time.perf_counter()
+    value = cell.call()
+    return value, time.perf_counter() - start, os.getpid()
+
+
+def _run_serial(cells: Sequence[Cell]) -> List[CellOutcome]:
+    out = []
+    for cell in cells:
+        value, elapsed, pid = _execute(cell)
+        out.append(CellOutcome(cell=cell, value=value, elapsed_s=elapsed,
+                               worker_pid=pid))
+    return out
+
+
+def _run_pool(cells: Sequence[Cell], jobs: int) -> List[CellOutcome]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        futures = {pool.submit(_execute, cell): i
+                   for i, cell in enumerate(cells)}
+        # Results land by input index regardless of completion order, so
+        # the returned list is deterministic.
+        for future, i in futures.items():
+            value, elapsed, pid = future.result()
+            outcomes[i] = CellOutcome(cell=cells[i], value=value,
+                                      elapsed_s=elapsed, worker_pid=pid)
+    return outcomes  # type: ignore[return-value]
+
+
+def run_cells(cells: Sequence[Cell], jobs: int = 1,
+              cache: Optional[Any] = None) -> List[CellOutcome]:
+    """Execute ``cells`` and return outcomes in the same order.
+
+    ``jobs > 1`` fans the cells across worker processes; results are
+    identical to a serial run because each cell seeds its own system.
+    ``cache`` (a :class:`~repro.bench.cache.ResultCache`) short-circuits
+    cells already computed with the same spec, seed, and cost model.
+    Pool failures (no fork/spawn support, unpicklable results, dead
+    workers) fall back to in-process execution rather than erroring.
+    """
+    cells = list(cells)
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+
+    misses: List[int] = []
+    if cache is not None:
+        for i, cell in enumerate(cells):
+            hit, value = cache.get(cell)
+            if hit:
+                outcomes[i] = CellOutcome(cell=cell, value=value,
+                                          elapsed_s=0.0, cached=True)
+            else:
+                misses.append(i)
+    else:
+        misses = list(range(len(cells)))
+
+    todo = [cells[i] for i in misses]
+    if todo:
+        if jobs > 1 and len(todo) > 1:
+            try:
+                fresh = _run_pool(todo, jobs)
+            except Exception:
+                # Graceful fallback: platforms without usable process
+                # pools still regenerate correctly, just serially.
+                fresh = _run_serial(todo)
+        else:
+            fresh = _run_serial(todo)
+        for i, outcome in zip(misses, fresh):
+            outcomes[i] = outcome
+            if cache is not None:
+                cache.put(outcome.cell, outcome.value)
+
+    return outcomes  # type: ignore[return-value]
+
+
+def cell_values(outcomes: Sequence[CellOutcome]) -> List[Any]:
+    """The payloads of ``outcomes`` (convenience for figure assembly)."""
+    return [o.value for o in outcomes]

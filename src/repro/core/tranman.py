@@ -721,7 +721,7 @@ class TransactionManager:
             if isinstance(sub, NbSubordinate):
                 # Keep a concurrently-running participant machine's view
                 # of our membership coherent with the takeover's action.
-                self.kernel.call_soon(sub.note_local_replication)
+                self.kernel.post_soon(sub.note_local_replication)
 
     # ------------------------------------------------- local participant
 

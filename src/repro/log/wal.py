@@ -122,7 +122,7 @@ class WriteAheadLog:
         Fires immediately (next kernel turn) if already durable.
         """
         if lsn <= self.flushed_lsn:
-            self.kernel.call_soon(callback)
+            self.kernel.post_soon(callback)
         else:
             self._watches.append((lsn, callback))
 
@@ -131,7 +131,7 @@ class WriteAheadLog:
         self._watches = [(lsn, cb) for lsn, cb in self._watches
                          if lsn > self.flushed_lsn]
         for cb in ready:
-            self.kernel.call_soon(cb)
+            self.kernel.post_soon(cb)
 
     def flush_all(self) -> Generator[Any, Any, None]:
         """Flush the entire tail (used by lazy background sweeps)."""

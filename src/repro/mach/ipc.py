@@ -89,7 +89,7 @@ class IpcFabric:
         latency = self.latency_for(flavour, msg)
         self.tracer.record(self.kernel.now, f"ipc.{flavour}", site=port.site,
                            kind_of=msg.kind)
-        self.kernel.schedule(latency, self._deliver, port, msg)
+        self.kernel.post(latency, self._deliver, port, msg)
 
     def _deliver(self, port: Port, msg: Message) -> None:
         if port.dead or not self._site_alive(port.site):
@@ -144,7 +144,7 @@ class IpcFabric:
         latency = self.latency_for(flavour, response)
         self.tracer.record(self.kernel.now, f"ipc.{flavour}",
                            site=handle.site, kind_of=response.kind)
-        self.kernel.schedule(latency, self._trigger_reply, handle, response)
+        self.kernel.post(latency, self._trigger_reply, handle, response)
 
     def _trigger_reply(self, handle: ReplyHandle, response: Message) -> None:
         if not self._site_alive(handle.site):

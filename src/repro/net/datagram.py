@@ -82,7 +82,7 @@ class DatagramService:
         """One unreliable datagram to ``dst``."""
         if dst == self.site:
             # Local loopback: no LAN transit, deliver next turn.
-            self.kernel.call_soon(self._deliver, Datagram(self.site, dst, payload,
+            self.kernel.post_soon(self._deliver, Datagram(self.site, dst, payload,
                                                           dedup_key))
             return
         self.sent += 1
@@ -94,7 +94,7 @@ class DatagramService:
         """One physical multicast carrying ``payload`` to every dst."""
         remote = [d for d in dsts if d != self.site]
         if len(remote) != len(dsts):
-            self.kernel.call_soon(
+            self.kernel.post_soon(
                 self._deliver, Datagram(self.site, self.site, payload, dedup_key))
         if not remote:
             return

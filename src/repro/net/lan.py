@@ -155,8 +155,8 @@ class Lan:
             self.tracer.record(self.kernel.now, "net.lost", site=src, dst=dst)
             return
         self.in_flight += 1
-        self.kernel.schedule(send_delay + transit, self._arrive, src, dst,
-                             payload, deliver)
+        self.kernel.post(send_delay + transit, self._arrive, src, dst,
+                         payload, deliver)
 
     def multicast(self, src: str, dsts: Sequence[str], payload_for: Callable[[str], Any],
                   deliver_for: Callable[[str], DeliverFn]) -> None:
@@ -179,8 +179,8 @@ class Lan:
                 self.tracer.record(self.kernel.now, "net.lost", site=src, dst=dst)
                 continue
             self.in_flight += 1
-            self.kernel.schedule(send_delay + transit, self._arrive, src, dst,
-                                 payload_for(dst), deliver_for(dst))
+            self.kernel.post(send_delay + transit, self._arrive, src, dst,
+                             payload_for(dst), deliver_for(dst))
 
     def _arrive(self, src: str, dst: str, payload: Any, deliver: DeliverFn) -> None:
         self.in_flight -= 1

@@ -41,7 +41,7 @@ class SimEvent:
     def add_callback(self, fn: Callable[[Any], None]) -> None:
         """Register ``fn(value)`` to run when (or if already) triggered."""
         if self.triggered:
-            self._kernel.call_soon(fn, self.value)
+            self._kernel.post_soon(fn, self.value)
         else:
             self._callbacks.append(fn)
 
@@ -55,7 +55,7 @@ class SimEvent:
         self.value = value
         callbacks, self._callbacks = self._callbacks, []
         for fn in callbacks:
-            self._kernel.call_soon(fn, value)
+            self._kernel.post_soon(fn, value)
 
 
 def all_of(kernel: Kernel, events: list[SimEvent], name: str = "all_of") -> SimEvent:

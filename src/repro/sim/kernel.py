@@ -8,59 +8,67 @@ sibling modules.
 Determinism: events scheduled for the same instant fire in scheduling
 order (a monotonically increasing sequence number breaks ties), so a
 simulation with a fixed RNG seed is exactly reproducible.
+
+Hot path: every simulated message, CPU grant, and timer passes through
+this heap, so the representation matters.  A :class:`Timer` is a list
+``[time, seq, fn, args, cancelled, kernel]`` and is pushed on the heap
+directly: construction is a single C-level allocation (no ``__init__``
+frame, no wrapper tuple), and heap sifting uses C-level list comparison
+— ``seq`` is unique, so ordering is decided by ``(time, seq)`` and the
+trailing elements are never compared.  Cancelled timers stay in the heap
+(O(1) cancel) but are counted, and the heap is compacted once they
+outnumber the live entries, so cancel-heavy workloads (the datagram
+retry layer cancels a timer per delivered message) cannot grow it
+without bound.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
+
+# Timer slot layout (a Timer IS a 6-element list; index names beat a
+# second object per scheduled event on the allocation profile).
+_TIME, _SEQ, _FN, _ARGS, _CANCELLED, _KERNEL = range(6)
+
+# Compaction floor: below this many cancelled entries the scan is not
+# worth it, however skewed the ratio (keeps tiny heaps out of the
+# compactor entirely).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (negative delays, running a dead kernel)."""
 
 
-class _ScheduledCall:
-    """A pending callback; comparison orders the heap.
+class Timer(list):
+    """Handle returned by :meth:`Kernel.schedule`; supports cancellation.
 
-    ``cancelled`` implements O(1) timer cancellation: the entry stays in
-    the heap but is skipped when popped.
+    Doubles as the heap entry itself: the payload list
+    ``[time, seq, fn, args, cancelled, kernel]`` is built by the C list
+    constructor, so scheduling an event costs one allocation.
+    ``cancel`` is O(1) — the entry stays in the heap, marked, and is
+    skipped when popped (or compacted away in bulk).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
-
-    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
-
-    def __lt__(self, other: "_ScheduledCall") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-
-class Timer:
-    """Handle returned by :meth:`Kernel.schedule`; supports cancellation."""
-
-    __slots__ = ("_call",)
-
-    def __init__(self, call: _ScheduledCall):
-        self._call = call
+    __slots__ = ()
 
     @property
     def time(self) -> float:
         """Virtual time at which the callback fires (or would have)."""
-        return self._call.time
+        return self[_TIME]
 
     @property
     def active(self) -> bool:
         """True while the callback has neither fired nor been cancelled."""
-        return not self._call.cancelled and self._call.fn is not None
+        return not self[_CANCELLED] and self[_FN] is not None
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
-        self._call.cancelled = True
+        if self[_CANCELLED] or self[_FN] is None:
+            return  # already cancelled or already fired
+        self[_CANCELLED] = True
+        self[_KERNEL]._note_cancel()
 
 
 class Kernel:
@@ -77,9 +85,11 @@ class Kernel:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._heap: list[_ScheduledCall] = []
+        self._heap: list = []   # heap of Timer (ordered by (time, seq))
         self._running = False
         self._live_processes = 0
+        self._live = 0          # scheduled, not yet fired or cancelled
+        self._cancelled = 0     # cancelled entries still sitting in the heap
 
     @property
     def now(self) -> float:
@@ -88,37 +98,93 @@ class Kernel:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled scheduled calls."""
-        return sum(1 for call in self._heap if not call.cancelled)
+        """Number of not-yet-cancelled scheduled calls (O(1) — monitoring
+        loops poll this)."""
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Total heap entries including cancelled ones (observability)."""
+        return len(self._heap)
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Timer:
         """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        call = _ScheduledCall(self._now + delay, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, call)
-        return Timer(call)
+        seq = self._seq
+        self._seq = seq + 1
+        timer = Timer((self._now + delay, seq, fn, args, False, self))
+        heappush(self._heap, timer)
+        self._live += 1
+        return timer
 
     def call_soon(self, fn: Callable[..., None], *args: Any) -> Timer:
         """Schedule ``fn(*args)`` at the current instant (after current event)."""
         return self.schedule(0.0, fn, *args)
 
+    def post(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`Timer` handle.
+
+        The heap entry is a plain list (C ``BUILD_LIST``, no subclass
+        constructor), which makes this the cheapest way to inject an
+        event.  Message delivery, process wake-ups, and event triggers —
+        the per-event hot path — never cancel, so they post.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, [self._now + delay, seq, fn, args, False, None])
+        self._live += 1
+
+    def post_soon(self, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`call_soon` (see :meth:`post`)."""
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, [self._now, seq, fn, args, False, None])
+        self._live += 1
+
+    def _note_cancel(self) -> None:
+        """Timer bookkeeping: keep ``pending`` O(1) and the heap bounded."""
+        self._live -= 1
+        self._cancelled += 1
+        if (self._cancelled >= _COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Called when cancelled entries exceed half the heap, so the heap
+        size stays within 2x the live entry count (plus the compaction
+        floor) no matter how cancel-heavy the workload is.
+        """
+        self._heap = [timer for timer in self._heap if not timer[_CANCELLED]]
+        heapify(self._heap)
+        self._cancelled = 0
+
     def step(self) -> bool:
         """Run the single next event.  Returns False if none remained."""
-        while self._heap:
-            call = heapq.heappop(self._heap)
-            if call.cancelled:
+        # Timer slots addressed by literal index (see _TIME.._KERNEL):
+        # this loop runs once per simulated event.
+        while True:
+            heap = self._heap  # re-read: a callback's cancel may compact
+            if not heap:
+                return False
+            timer = heappop(heap)
+            if timer[4]:  # cancelled
+                self._cancelled -= 1
                 continue
-            if call.time < self._now:
+            time = timer[0]
+            if time < self._now:
                 raise SimulationError("event heap time went backwards")
-            self._now = call.time
-            fn, args = call.fn, call.args
-            call.fn = None  # mark fired for Timer.active
-            call.args = ()
+            self._now = time
+            self._live -= 1
+            fn, args = timer[2], timer[3]
+            timer[2] = None  # mark fired for Timer.active
+            timer[3] = ()
             fn(*args)
             return True
-        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the heap drains, ``until`` passes, or the budget ends.
@@ -130,20 +196,37 @@ class Kernel:
         if self._running:
             raise SimulationError("kernel is already running (reentrant run())")
         self._running = True
+        # Hoist the optional bounds out of the dispatch loop.
+        deadline = float("inf") if until is None else until
+        budget = -1 if max_events is None else max_events
         events = 0
         try:
-            while self._heap:
-                nxt = self._heap[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and nxt.time > until:
+            while True:
+                heap = self._heap  # re-read: compaction swaps the list
+                if not heap:
                     break
-                if max_events is not None and events >= max_events:
+                timer = heap[0]
+                if timer[4]:  # cancelled
+                    heappop(heap)
+                    self._cancelled -= 1
+                    continue
+                time = timer[0]
+                if time > deadline:
+                    break
+                if events == budget:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a livelock"
                     )
-                self.step()
+                # Inline dispatch (step() would pop via a second peek).
+                heappop(heap)
+                if time < self._now:
+                    raise SimulationError("event heap time went backwards")
+                self._now = time
+                self._live -= 1
+                fn, args = timer[2], timer[3]
+                timer[2] = None  # mark fired for Timer.active
+                timer[3] = ()
+                fn(*args)
                 events += 1
         finally:
             self._running = False

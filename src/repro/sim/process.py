@@ -76,7 +76,7 @@ class Process:
         self._alive = True
         self._killed = False
         self._pending_timer: Optional[Timer] = None
-        kernel.call_soon(self._resume, None)
+        kernel.post_soon(self._resume, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self._alive else "done"
@@ -102,7 +102,7 @@ class Process:
             # its own site): we cannot throw into a running frame.  The
             # current step finishes; _resume/_dispatch refuse to continue
             # a dead process, and the generator is closed next turn.
-            self.kernel.call_soon(self._close_gen)
+            self.kernel.post_soon(self._close_gen)
             self.done.trigger(None)
             return
         try:

@@ -8,6 +8,7 @@ events to a :class:`Tracer`; experiments read counters and the raw trace.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
@@ -36,14 +37,24 @@ class Tracer:
     def __init__(self, keep_events: bool = True):
         self.keep_events = keep_events
         self.events: List[TraceEvent] = []
-        self.counters: Dict[str, int] = {}
+        self.counters: Dict[str, int] = defaultdict(int)
+        if not keep_events:
+            # Per-event fast path for long runs: rebinding the method on
+            # the instance skips the keep_events branch and the
+            # TraceEvent machinery entirely (record() is called for
+            # every IPC, datagram, and log write).
+            self.record = self._record_count_only  # type: ignore[method-assign]
 
     def record(self, time: float, kind: str, site: Optional[str] = None,
                **detail: Any) -> None:
         """Count (and optionally store) one event."""
-        self.counters[kind] = self.counters.get(kind, 0) + 1
+        self.counters[kind] += 1
         if self.keep_events:
             self.events.append(TraceEvent(time=time, kind=kind, site=site, detail=detail))
+
+    def _record_count_only(self, time: float, kind: str,
+                           site: Optional[str] = None, **detail: Any) -> None:
+        self.counters[kind] += 1
 
     def count(self, kind: str) -> int:
         return self.counters.get(kind, 0)
@@ -82,10 +93,13 @@ class NullTracer(Tracer):
 
     def __init__(self) -> None:
         super().__init__(keep_events=False)
+        self.record = self._drop  # type: ignore[method-assign]
 
-    def record(self, time: float, kind: str, site: Optional[str] = None,
-               **detail: Any) -> None:
+    def _drop(self, time: float, kind: str, site: Optional[str] = None,
+              **detail: Any) -> None:
         return
+
+    record = _drop
 
 
 def summarize_counts(tracer: Tracer, kinds: Iterable[str]) -> Dict[str, int]:

@@ -1,0 +1,190 @@
+"""Parallel runner + result cache: equivalence and determinism.
+
+Determinism is a core repo invariant (DESIGN.md §5): every cell builds a
+fresh seeded system, so the same cell must produce the same `Summary`
+whether it runs in-process, in a worker process, or is restored from the
+on-disk cache.  These tests run real Figure 2 / Figure 4 cells at
+reduced trial counts through all three paths and require identical
+results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.bench.parallel as parallel
+from repro.bench.cache import ResultCache, cost_model_fingerprint
+from repro.bench.figures import figure2, figure2_cells, figure4, figure4_cells
+from repro.bench.parallel import (
+    Cell,
+    cell_values,
+    latency_cell,
+    run_cells,
+    throughput_cell,
+)
+
+FIG2_CELLS = lambda: [c for _, _, c in figure2_cells(trials=3,
+                                                     subs_range=(0, 1))]
+FIG4_CELLS = lambda: [c for _, c in figure4_cells(pairs_range=(1, 2),
+                                                  duration_ms=1_200.0)]
+
+
+# -------------------------------------------------------- cell basics
+
+
+def test_cell_is_hashable_and_order_insensitive():
+    a = latency_cell(n_subs=1, op="read", trials=5)
+    b = Cell.make("measure_latency", trials=5, op="read", n_subs=1)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != latency_cell(n_subs=2, op="read", trials=5)
+
+
+def test_unknown_cell_function_rejected():
+    with pytest.raises(KeyError):
+        Cell.make("not_a_registered_function", x=1)
+
+
+def test_outcomes_keep_input_order():
+    # Results must be keyed by cell spec, not completion order: a slow
+    # cell first must not displace a fast cell's slot.
+    slow = latency_cell(n_subs=1, op="write", trials=6)
+    fast = latency_cell(n_subs=0, op="read", trials=2)
+    outcomes = run_cells([slow, fast, slow], jobs=1)
+    assert [o.cell for o in outcomes] == [slow, fast, slow]
+    assert outcomes[0].value.summary == outcomes[2].value.summary
+    assert all(o.elapsed_s >= 0.0 for o in outcomes)
+
+
+# ------------------------------------------- serial/parallel equality
+
+
+def test_figure2_cells_parallel_equals_serial():
+    cells = FIG2_CELLS()
+    serial = cell_values(run_cells(cells, jobs=1))
+    fanned = cell_values(run_cells(cells, jobs=2))
+    # LatencyResult and its Summary are dataclasses: == is field-exact,
+    # so this asserts bit-identical means/stdevs, not approximations.
+    assert serial == fanned
+
+
+def test_figure4_cells_parallel_equals_serial():
+    cells = FIG4_CELLS()
+    serial = cell_values(run_cells(cells, jobs=1))
+    fanned = cell_values(run_cells(cells, jobs=2))
+    assert serial == fanned
+
+
+def test_figure2_function_identical_across_jobs():
+    a = figure2(trials=2, subs_range=(0, 1), jobs=1)
+    b = figure2(trials=2, subs_range=(0, 1), jobs=2)
+    assert set(a) == set(b)
+    for label in a:
+        assert a[label].points == b[label].points
+
+
+def test_pool_failure_falls_back_to_serial(monkeypatch):
+    def boom(cells, jobs):
+        raise OSError("no process pool on this platform")
+
+    monkeypatch.setattr(parallel, "_run_pool", boom)
+    cells = [latency_cell(n_subs=0, op="read", trials=2)] * 2
+    outcomes = run_cells(cells, jobs=4)
+    assert len(outcomes) == 2
+    assert outcomes[0].value.summary == outcomes[1].value.summary
+
+
+# ------------------------------------------------------- result cache
+
+
+def test_warm_cache_returns_identical_values(tmp_path):
+    cells = FIG2_CELLS()
+    cache = ResultCache(root=tmp_path / "cache")
+    cold = run_cells(cells, jobs=1, cache=cache)
+    assert not any(o.cached for o in cold)
+    warm = run_cells(cells, jobs=1, cache=cache)
+    assert all(o.cached for o in warm)
+    assert cell_values(cold) == cell_values(warm)
+    # And a parallel run against the same warm cache computes nothing.
+    warm2 = run_cells(cells, jobs=2, cache=cache)
+    assert all(o.cached for o in warm2)
+    assert cell_values(warm2) == cell_values(cold)
+
+
+def test_figure4_warm_cache_identical(tmp_path):
+    cells = FIG4_CELLS()
+    cache = ResultCache(root=tmp_path / "cache")
+    cold = cell_values(run_cells(cells, jobs=2, cache=cache))
+    warm = cell_values(run_cells(cells, jobs=1, cache=cache))
+    assert cold == warm
+    assert cache.hits == len(cells)
+
+
+def test_figure4_function_identical_across_paths(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+    serial = figure4(pairs_range=(1,), duration_ms=1_000.0, jobs=1)
+    cached_cold = figure4(pairs_range=(1,), duration_ms=1_000.0,
+                          jobs=2, cache=cache)
+    cached_warm = figure4(pairs_range=(1,), duration_ms=1_000.0, cache=cache)
+    for label in serial:
+        assert serial[label].points == cached_cold[label].points
+        assert serial[label].points == cached_warm[label].points
+
+
+def test_cache_key_covers_spec_and_cost_model(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+    a = latency_cell(n_subs=1, op="read", trials=5)
+    b = latency_cell(n_subs=1, op="read", trials=6)
+    assert cache.key(a) != cache.key(b)
+    assert cache.key(a) == cache.key(latency_cell(trials=5, op="read",
+                                                  n_subs=1))
+    # A changed cost-model constant moves every key (stale physics must
+    # never be served).
+    cache._fingerprint = "different-cost-model"
+    assert cache.key(a) != ResultCache(root=tmp_path / "cache").key(a)
+
+
+def test_cost_model_fingerprint_is_stable():
+    assert cost_model_fingerprint() == cost_model_fingerprint()
+
+
+def test_corrupt_cache_entry_is_recomputed(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+    cell = latency_cell(n_subs=0, op="read", trials=2)
+    first = run_cells([cell], cache=cache)[0]
+    path = cache._path(cache.key(cell))
+    path.write_bytes(b"not a pickle")
+    again = run_cells([cell], cache=cache)[0]
+    assert not again.cached
+    assert again.value == first.value
+
+
+def test_cached_none_distinguished_from_miss(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+    cell = latency_cell(n_subs=0, op="read", trials=2)
+    cache.put(cell, None)
+    hit, value = cache.get(cell)
+    assert hit and value is None
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+    run_cells([latency_cell(n_subs=0, op="read", trials=2)], cache=cache)
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+# ----------------------------------------------------- ablation cells
+
+
+def test_ablation_cell_roundtrip():
+    outcome = run_cells([Cell.make("read_only_ablation", trials=3)])[0]
+    assert outcome.value.unoptimized_forces >= outcome.value.optimized_forces
+
+
+def test_throughput_cell_describe_mentions_args():
+    cell = throughput_cell(pairs=2, threads=5, group_commit=False,
+                           op="read", duration_ms=500.0)
+    text = cell.describe()
+    assert "measure_throughput" in text and "pairs=2" in text

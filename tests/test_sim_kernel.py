@@ -132,6 +132,97 @@ def test_max_events_guards_livelock():
         k.run(max_events=100)
 
 
+def test_pending_is_live_counter():
+    # `pending` is O(1) (a maintained counter, polled by monitoring
+    # loops); it must track schedule/cancel/fire exactly.
+    k = Kernel()
+    timers = [k.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert k.pending == 10
+    timers[0].cancel()
+    timers[0].cancel()  # idempotent: must not double-decrement
+    assert k.pending == 9
+    k.step()  # fires t=2 (t=1 was cancelled)
+    assert k.pending == 8
+    k.run()
+    assert k.pending == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_pending():
+    k = Kernel()
+    timer = k.schedule(1.0, lambda: None)
+    k.schedule(2.0, lambda: None)
+    k.run()
+    assert k.pending == 0
+    timer.cancel()  # late cancel of an already-fired timer: no-op
+    assert k.pending == 0
+
+
+def test_cancel_heavy_workload_keeps_heap_bounded():
+    # Regression: cancelled entries used to accumulate unboundedly (the
+    # datagram retry layer cancels a timer per delivered message).  The
+    # kernel compacts once cancelled entries exceed half the heap, so
+    # the heap stays within 2x the live count plus the compaction floor.
+    k = Kernel()
+    live = [k.schedule(100_000.0 + i, lambda: None) for i in range(50)]
+    for i in range(10_000):
+        k.schedule(50_000.0 + i, lambda: None).cancel()
+    assert k.pending == 50
+    assert k.heap_size <= 2 * (k.pending + 64)
+    for timer in live:
+        timer.cancel()
+    assert k.pending == 0
+    assert k.heap_size <= 128
+
+
+def test_compaction_during_run_preserves_order():
+    # Cancelling en masse from inside a callback triggers compaction
+    # mid-run; the surviving events must still fire in (time, seq) order.
+    k = Kernel()
+    fired = []
+    doomed = [k.schedule(50.0 + i, fired.append, f"doomed{i}")
+              for i in range(200)]
+    for i in range(5):
+        k.schedule(300.0 + i, fired.append, f"live{i}")
+
+    def cancel_all():
+        for timer in doomed:
+            timer.cancel()
+
+    k.schedule(10.0, cancel_all)
+    k.run()
+    assert fired == [f"live{i}" for i in range(5)]
+    assert k.now == 304.0
+
+
+def test_post_is_fire_and_forget():
+    k = Kernel()
+    order = []
+    k.post(5.0, order.append, "b")
+    k.post(1.0, order.append, "a")
+    k.post_soon(order.append, "now")
+    assert k.pending == 3
+    k.run()
+    assert order == ["now", "a", "b"]
+    assert k.pending == 0
+
+
+def test_post_and_schedule_share_ordering():
+    # post() and schedule() entries interleave in one heap; ties still
+    # break by scheduling order.
+    k = Kernel()
+    order = []
+    k.schedule(3.0, order.append, 1)
+    k.post(3.0, order.append, 2)
+    k.schedule(3.0, order.append, 3)
+    k.run()
+    assert order == [1, 2, 3]
+
+
+def test_post_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Kernel().post(-0.5, lambda: None)
+
+
 def test_reentrant_run_rejected():
     k = Kernel()
 
