@@ -6,7 +6,6 @@ this bench renders them and asserts the calibration identities the
 paper's analysis depends on.
 """
 
-from repro.analysis.primitives import table1_rows
 from repro.bench.figures import table1_report
 from repro.bench.report import render_primitive_table
 

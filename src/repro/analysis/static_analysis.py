@@ -238,10 +238,12 @@ def path_counts(protocol: str, op: str, n_subs: int) -> Dict[str, int]:
     Returns {'log_forces': ..., 'datagrams': ...} for one transaction
     with ``n_subs`` subordinates.
     """
+    if protocol not in ("two_phase", "non_blocking"):
+        raise ValueError(f"unknown protocol {protocol!r}")
+    if op not in ("read", "write"):
+        raise ValueError(f"unknown op {op!r} (expected 'read' or 'write')")
     if op == "read":
         return {"log_forces": 0, "datagrams": 2 if n_subs else 0}
     if protocol == "two_phase":
         return {"log_forces": 2, "datagrams": 3 if n_subs else 0}
-    if protocol == "non_blocking":
-        return {"log_forces": 4, "datagrams": 5 if n_subs else 0}
-    raise ValueError(f"unknown protocol {protocol!r}")
+    return {"log_forces": 4, "datagrams": 5 if n_subs else 0}

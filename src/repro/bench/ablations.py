@@ -18,12 +18,11 @@ knobs the paper discusses qualitatively:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.analysis.stats import Summary, summarize
-from repro.bench.experiment import measure_latency, measure_throughput
 from repro.config import SystemConfig, rt_pc_profile, vax_mp_profile, wan_profile
-from repro.core.outcomes import Outcome, ProtocolKind
+from repro.core.outcomes import ProtocolKind
 from repro.system import CamelotSystem
 
 

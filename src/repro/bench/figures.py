@@ -23,7 +23,6 @@ from repro.analysis.primitives import (
     PrimitiveRow,
     rpc_breakdown_rows,
     table1_rows,
-    table2_rows,
 )
 from repro.analysis.static_analysis import (
     StaticPath,
@@ -31,7 +30,6 @@ from repro.analysis.static_analysis import (
     local_update_completion,
     nonblocking_read_completion,
     nonblocking_update_completion,
-    twophase_read_completion,
     twophase_update_completion,
 )
 from repro.analysis.stats import Summary, summarize

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.sim.tracing import TraceEvent, Tracer
+from repro.sim.tracing import Tracer
 
 # Trace kinds worth a timeline row, and how to describe them.
 _DESCRIPTIONS = {

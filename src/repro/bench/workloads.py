@@ -14,7 +14,7 @@ The paper's experiments use two shapes:
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+from typing import Any, Generator, List
 
 from repro.core.outcomes import ProtocolKind, TwoPhaseVariant
 from repro.servers.application import Application, TransactionAborted

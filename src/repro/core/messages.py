@@ -15,7 +15,7 @@ that time out and become coordinators.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.outcomes import Outcome, TwoPhaseVariant, Vote
 from repro.core.quorum import QuorumSpec

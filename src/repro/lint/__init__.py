@@ -1,0 +1,41 @@
+"""repro.lint — a codebase-aware static-analysis pass for the simulator.
+
+The whole reproduction rests on the simulator being *deterministic*: the
+result cache (:mod:`repro.bench.cache`) keys on cost-model fingerprints,
+and the harness asserts byte-equality across serial/parallel runs.  Any
+hidden nondeterminism — a wall-clock read, an unseeded RNG, unordered
+``set`` iteration feeding event order, two same-timestamp events racing
+on a port — silently corrupts every figure while all tests stay green.
+
+This package checks those properties mechanically:
+
+- :mod:`repro.lint.rules` — ~8 AST rules (wall-clock, unseeded random,
+  unordered iteration into the kernel, ``CostModel`` attribute/fingerprint
+  coverage, message-handler completeness, presumed-abort/delayed-commit
+  log-force discipline, consumed fire-and-forget results, environment
+  reads) in a pluggable registry (:mod:`repro.lint.registry`).
+- :mod:`repro.lint.races` — an opt-in simulation race detector: a kernel
+  monitor that records same-timestamp event pairs scheduled from
+  independent causes that touch the same port/lock/WAL object.
+- :mod:`repro.lint.baseline` — a checked-in suppression file
+  (``lint-baseline.json``) so intentional exceptions are explicit and
+  CI fails only on *new* findings.
+
+Run it with ``python -m repro.lint`` (see ``--help``); CI runs
+``python -m repro.lint --format json --races`` and fails on any
+non-baselined finding.
+"""
+
+from repro.lint.findings import Finding, render_json, render_text
+from repro.lint.registry import all_rules, rule
+from repro.lint.engine import LintContext, run_lint
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "all_rules",
+    "render_json",
+    "render_text",
+    "rule",
+    "run_lint",
+]

@@ -1,0 +1,121 @@
+"""CLI: ``python -m repro.lint``.
+
+Examples::
+
+    python -m repro.lint                       # static rules, text report
+    python -m repro.lint --format json         # machine-readable (CI)
+    python -m repro.lint --races               # + simulation race scan
+    python -m repro.lint --rules wallclock,no-environ
+    python -m repro.lint --update-baseline     # accept current findings
+    python -m repro.lint path/to/tree          # lint a different tree
+
+Exit status: 0 when no non-baselined findings, 1 otherwise, 2 on usage
+errors.  The baseline (``lint-baseline.json`` at the repo root) carries
+a justification per accepted finding; CI fails on anything new.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import run_lint
+from repro.lint.findings import render_json, render_text
+
+
+def _default_baseline() -> Optional[Path]:
+    """Walk up from the package (then cwd) looking for the repo baseline."""
+    import repro
+    starts = [Path(repro.__file__).resolve().parent, Path.cwd()]
+    for start in starts:
+        for candidate in [start, *start.parents]:
+            path = candidate / DEFAULT_BASELINE_NAME
+            if path.is_file():
+                return path
+            if (candidate / "pyproject.toml").is_file():
+                # Repo root reached; this is where a baseline would live.
+                return path if path.is_file() else None
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Codebase-aware determinism/protocol lint for repro.")
+    parser.add_argument("paths", nargs="*",
+                        help="tree(s) to lint (default: the repro package)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids (default: all)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: lint-baseline.json "
+                             "at the repo root)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, ignoring the baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept all current findings into the baseline "
+                             "(existing justifications are kept)")
+    parser.add_argument("--races", action="store_true",
+                        help="also run the simulation race detector "
+                             "(same-timestamp event pairs on shared "
+                             "ports/locks/WAL)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="text format: also list baselined findings")
+    args = parser.parse_args(argv)
+
+    rule_ids = ([r.strip() for r in args.rules.split(",") if r.strip()]
+                if args.rules else None)
+    if args.no_baseline:
+        baseline_path: Optional[Path] = None
+    elif args.baseline:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = _default_baseline()
+
+    extra = None
+    if args.races:
+        from repro.lint.races import scan_for_races
+        extra = scan_for_races()
+
+    roots = [Path(p) for p in args.paths] or [None]
+    reports = []
+    try:
+        for root in roots:
+            reports.append(run_lint(root=root, rule_ids=rule_ids,
+                                    baseline_path=baseline_path,
+                                    extra_findings=extra))
+            extra = None  # race findings attach to the first tree only
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = reports[0]
+    for other in reports[1:]:
+        report.findings.extend(other.findings)
+        report.baselined.extend(other.baselined)
+        report.checked_files += other.checked_files
+
+    if args.update_baseline:
+        path = baseline_path or Path.cwd() / DEFAULT_BASELINE_NAME
+        previous = load_baseline(path if path.is_file() else None)
+        count = write_baseline(report.findings + report.baselined, path,
+                               previous=previous)
+        print(f"baseline written: {path} ({count} entries)")
+        return 0
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Checked-in suppression file: intentional findings, each justified.
+
+``lint-baseline.json`` lists findings the tree accepts on purpose.  CI
+fails only on findings *not* in the baseline, so the gate catches new
+problems while grandfathered exceptions stay visible (every entry
+carries a one-line justification, reviewed like any other code).
+
+Entries match on the finding's fingerprint (rule + file + stable key),
+so unrelated edits that shift line numbers do not invalidate them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def load_baseline(path: Optional[Path]) -> Dict[str, dict]:
+    """fingerprint -> entry; empty if the file is absent."""
+    if path is None or not Path(path).is_file():
+        return {}
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path}: unsupported version {data.get('version')!r}")
+    return {e["fingerprint"]: e for e in data.get("entries", [])}
+
+
+def apply_baseline(findings: Iterable[Finding],
+                   baseline: Dict[str, dict]) -> Tuple[List[Finding],
+                                                       List[Finding]]:
+    """Split findings into (new, baselined)."""
+    new: List[Finding] = []
+    suppressed: List[Finding] = []
+    for f in findings:
+        (suppressed if f.fingerprint in baseline else new).append(f)
+    return new, suppressed
+
+
+def write_baseline(findings: Iterable[Finding], path: Path,
+                   previous: Optional[Dict[str, dict]] = None) -> int:
+    """Write a baseline accepting ``findings``; keeps justifications of
+    entries that are still live, stubs new ones.  Returns entry count."""
+    previous = previous or {}
+    entries = []
+    for f in sorted(set(findings), key=lambda f: (f.file, f.line, f.rule)):
+        old = previous.get(f.fingerprint)
+        entries.append({
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "file": f.file,
+            "key": f.key or f.message,
+            "justification": (old or {}).get(
+                "justification", "TODO: justify this exception"),
+        })
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(entries)

@@ -1,0 +1,41 @@
+"""Pluggable rule registry.
+
+A rule is a callable ``(context) -> list[Finding]`` registered under a
+stable id.  Rules are module-level functions decorated with
+:func:`rule`; importing :mod:`repro.lint.rules` populates the registry.
+Third parties (tests, future subsystems) can register extra rules the
+same way — the engine runs whatever is in the registry, optionally
+filtered by id.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import LintContext
+    from repro.lint.findings import Finding
+
+RuleFn = Callable[["LintContext"], List["Finding"]]
+
+_REGISTRY: Dict[str, RuleFn] = {}
+
+
+def rule(rule_id: str, doc: str = "") -> Callable[[RuleFn], RuleFn]:
+    """Register ``fn`` under ``rule_id``.  Ids must be unique."""
+
+    def deco(fn: RuleFn) -> RuleFn:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        fn.rule_id = rule_id            # type: ignore[attr-defined]
+        fn.rule_doc = doc or fn.__doc__ or ""  # type: ignore[attr-defined]
+        _REGISTRY[rule_id] = fn
+        return fn
+
+    return deco
+
+
+def all_rules() -> Dict[str, RuleFn]:
+    """The registry, populated (imports the stock rules on first use)."""
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+    return dict(_REGISTRY)

@@ -1,0 +1,440 @@
+"""The stock rule set: determinism and protocol-discipline checks.
+
+Every rule is a function ``(LintContext) -> list[Finding]`` registered
+with :func:`repro.lint.registry.rule`.  "Sim-scoped" rules apply only to
+code that runs inside the simulation clock (``sim/``, ``core/``,
+``net/``, ``mach/``, ``log/``, ``servers/``, ``system.py``,
+``config.py``); the harness (``bench/``, ``analysis/``) may time itself
+with wall clocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import FileInfo, LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+# ------------------------------------------------------------- helpers
+
+
+def _walk_funcs(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            yield node
+
+
+def _parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """'a.b.c' for nested Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_kernel_attr(node: ast.AST) -> bool:
+    """True for ``kernel`` / ``_kernel`` / ``*.kernel`` / ``*._kernel``."""
+    if isinstance(node, ast.Name):
+        return node.id in ("kernel", "_kernel")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("kernel", "_kernel")
+    return False
+
+
+# ----------------------------------------------------------- rule: clock
+
+_WALLCLOCK = {
+    "time.time", "time.monotonic", "time.perf_counter", "time.time_ns",
+    "time.monotonic_ns", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "date.today", "datetime.date.today",
+}
+
+
+@rule("wallclock",
+      "No wall-clock reads inside simulation code: virtual time only.")
+def check_wallclock(ctx: LintContext) -> List[Finding]:
+    out: List[Finding] = []
+    for info in ctx.sim_files():
+        if info.tree is None:
+            continue
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name in _WALLCLOCK:
+                out.append(ctx.finding(
+                    info, node, "wallclock",
+                    f"wall-clock read {name}() in simulation code; "
+                    f"determinism requires Kernel.now / virtual time"))
+    return out
+
+
+# ------------------------------------------------------------ rule: rng
+
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular", "seed", "getrandbits",
+}
+
+
+@rule("unseeded-random",
+      "All randomness must come from seeded RngStreams, never the "
+      "global random module or an unseeded Random().")
+def check_unseeded_random(ctx: LintContext) -> List[Finding]:
+    out: List[Finding] = []
+    for info in ctx.sim_files():
+        if info.tree is None:
+            continue
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name is not None and name.startswith("random.") \
+                    and name.split(".", 1)[1] in _GLOBAL_RANDOM_FNS:
+                out.append(ctx.finding(
+                    info, node, "unseeded-random",
+                    f"{name}() uses the global (unseeded, shared) RNG; "
+                    f"draw from repro.sim.rng.RngStreams instead"))
+            elif name in ("Random", "random.Random") and not node.args \
+                    and not node.keywords:
+                out.append(ctx.finding(
+                    info, node, "unseeded-random",
+                    "Random() without a seed is nondeterministic; pass a "
+                    "seed derived from the master seed (see RngStreams)"))
+    return out
+
+
+# ----------------------------------------------- rule: unordered iteration
+
+_POST_METHODS = ("post", "post_soon", "schedule", "call_soon")
+# Effect constructors whose list order becomes datagram post order when
+# the TranMan executes them — building these in a loop counts as
+# "feeding kernel.post() ordering" even though the post is elsewhere.
+_ORDERED_EFFECTS = ("SendDatagram", "LazySendDatagram",
+                    "MulticastDatagram", "ForceLog", "WriteLog")
+
+
+def _set_annotated(ann: Optional[ast.AST]) -> bool:
+    if ann is None:
+        return False
+    text = ast.dump(ann)
+    return "'Set'" in text or "'set'" in text or "'frozenset'" in text \
+        or "'FrozenSet'" in text
+
+
+def _set_typed_names(tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+    """(self attributes, plain names) annotated as sets anywhere in the
+    file: ``self.x: Set[str] = ...`` and ``dsts: Set[str]`` params."""
+    attrs: Set[str] = set()
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign) and _set_annotated(node.annotation):
+            if isinstance(node.target, ast.Attribute) \
+                    and isinstance(node.target.value, ast.Name) \
+                    and node.target.value.id == "self":
+                attrs.add(node.target.attr)
+            elif isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for a in (*node.args.args, *node.args.posonlyargs,
+                      *node.args.kwonlyargs):
+                if _set_annotated(a.annotation):
+                    names.add(a.arg)
+    return attrs, names
+
+
+def _unordered_iterable(node: ast.AST, set_attrs: Set[str],
+                        set_names: Set[str]) -> Optional[str]:
+    """A description if ``node`` iterates in no deterministic order."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        if name in ("set", "frozenset"):
+            return f"{name}(...)"
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "keys", "values", "items") and not node.args:
+            # dict views are insertion-ordered, but insertion order of a
+            # dict filled from message arrival is itself history-shaped;
+            # event-ordering code must sort explicitly.
+            return f".{node.func.attr}() view"
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return f"set-typed {node.id!r}"
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id == "self" and node.attr in set_attrs:
+        return f"set-typed self.{node.attr}"
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)):
+        for side in (node.left, node.right):
+            desc = _unordered_iterable(side, set_attrs, set_names)
+            if desc:
+                return f"a set expression over {desc}"
+    return None
+
+
+@rule("unordered-iteration",
+      "Iteration order feeding kernel.post()/schedule() or ordered "
+      "effect lists must be deterministic: no sets or dict views, "
+      "sort explicitly.")
+def check_unordered_iteration(ctx: LintContext) -> List[Finding]:
+    out: List[Finding] = []
+    for info in ctx.sim_files():
+        if info.tree is None:
+            continue
+        set_attrs, set_names = _set_typed_names(info.tree)
+        for func in _walk_funcs(info.tree):
+            calls_kernel = any(
+                isinstance(n, ast.Call)
+                and ((isinstance(n.func, ast.Attribute)
+                      and n.func.attr in _POST_METHODS
+                      and _is_kernel_attr(n.func.value))
+                     or (isinstance(n.func, ast.Name)
+                         and n.func.id in _ORDERED_EFFECTS))
+                for n in ast.walk(func))
+            if not calls_kernel:
+                continue
+            iters: List[Tuple[ast.AST, ast.AST]] = []
+            for n in ast.walk(func):
+                if isinstance(n, ast.For):
+                    iters.append((n, n.iter))
+                elif isinstance(n, (ast.ListComp, ast.SetComp,
+                                    ast.GeneratorExp, ast.DictComp)):
+                    iters.extend((n, g.iter) for g in n.generators)
+            for node, it in iters:
+                desc = _unordered_iterable(it, set_attrs, set_names)
+                if desc:
+                    out.append(ctx.finding(
+                        info, node, "unordered-iteration",
+                        f"iterating {desc} in a function that schedules "
+                        f"kernel events or builds ordered effects; wrap "
+                        f"in sorted(...) so event order cannot depend on "
+                        f"hash/insertion history"))
+    return out
+
+
+# ------------------------------------------------ rule: CostModel attrs
+
+
+def _cost_typed_names(func: ast.AST) -> Set[str]:
+    """Parameter/local names that hold a CostModel in this function."""
+    names: Set[str] = set()
+    args = getattr(func, "args", None)
+    if args is not None:
+        all_args = list(args.args) + list(args.posonlyargs) \
+            + list(args.kwonlyargs)
+        for a in all_args:
+            ann = a.annotation
+            text = ast.dump(ann) if ann is not None else ""
+            if "CostModel" in text:
+                names.add(a.arg)
+    for n in ast.walk(func):
+        if isinstance(n, ast.Assign) and len(n.targets) == 1 \
+                and isinstance(n.targets[0], ast.Name) \
+                and isinstance(n.value, ast.Call):
+            callee = _dotted(n.value.func) or ""
+            leaf = callee.rsplit(".", 1)[-1]
+            if leaf in ("_c", "CostModel", "rt_pc_profile", "vax_mp_profile",
+                        "wan_profile", "with_overrides"):
+                names.add(n.targets[0].id)
+    return names
+
+
+@rule("costmodel-attrs",
+      "Every CostModel attribute referenced anywhere must be a real "
+      "dataclass field (covered by the cache fingerprint) or method.")
+def check_costmodel_attrs(ctx: LintContext) -> List[Finding]:
+    valid = ctx.costmodel_fields | ctx.costmodel_methods
+    if not valid:
+        return []
+    covered = ctx.fingerprint_covered
+    out: List[Finding] = []
+
+    def check_attr(info: FileInfo, node: ast.Attribute) -> None:
+        attr = node.attr
+        if attr.startswith("__"):
+            return
+        if attr not in valid:
+            out.append(ctx.finding(
+                info, node, "costmodel-attrs",
+                f"unknown CostModel attribute {attr!r} (not a field or "
+                f"method of repro.config.CostModel)",
+                key=f"attr:{attr}"))
+        elif covered is not None and attr in ctx.costmodel_fields \
+                and attr not in covered:
+            out.append(ctx.finding(
+                info, node, "costmodel-attrs",
+                f"CostModel field {attr!r} is not covered by the bench "
+                f"cache cost-model fingerprint: cached figures would "
+                f"survive edits to it", key=f"uncovered:{attr}"))
+
+    for info in ctx.files:
+        if info.tree is None or info.sub == "config.py":
+            continue
+        # (a) names bound to a CostModel inside each function
+        for func in _walk_funcs(info.tree):
+            names = _cost_typed_names(func)
+            if not names:
+                continue
+            for n in ast.walk(func):
+                if isinstance(n, ast.Attribute) \
+                        and isinstance(n.value, ast.Name) \
+                        and n.value.id in names:
+                    check_attr(info, n)
+        # (b) `<anything>.cost.<attr>` chains, the idiom substrates use
+        for n in ast.walk(info.tree):
+            if isinstance(n, ast.Attribute) \
+                    and isinstance(n.value, ast.Attribute) \
+                    and n.value.attr == "cost":
+                check_attr(info, n)
+    return out
+
+
+# -------------------------------------------- rule: message handlers
+
+
+@rule("message-handlers",
+      "Every message type declared in core/messages.py must be "
+      "dispatched on (isinstance) somewhere in core/, and listed in "
+      "ANY_MESSAGE.")
+def check_message_handlers(ctx: LintContext) -> List[Finding]:
+    info = ctx.file("core/messages.py")
+    if info is None or not ctx.message_classes:
+        return []
+    out: List[Finding] = []
+    for name, lineno in sorted(ctx.message_classes.items()):
+        if name not in ctx.handled_classes:
+            out.append(Finding(
+                rule="message-handlers", file=info.rel, line=lineno,
+                message=(f"message type {name} has no isinstance handler "
+                         f"in any core/ protocol module: it would be "
+                         f"silently dropped"),
+                key=f"unhandled:{name}"))
+        if ctx.any_message_names and name not in ctx.any_message_names:
+            out.append(Finding(
+                rule="message-handlers", file=info.rel, line=lineno,
+                message=(f"message type {name} is missing from "
+                         f"ANY_MESSAGE (fuzzers and exhaustiveness "
+                         f"checks iterate it)"),
+                key=f"unlisted:{name}"))
+    return out
+
+
+# ----------------------------------------- rule: lazy-path log forces
+
+
+@rule("lazy-log-force",
+      "No blocking log force where the paper requires laziness: abort "
+      "records are never forced (presumed abort), and the OPTIMIZED "
+      "delayed-commit branch writes its commit record lazily.")
+def check_lazy_log_force(ctx: LintContext) -> List[Finding]:
+    out: List[Finding] = []
+    for info in ctx.sim_files():
+        if info.tree is None or not info.sub.startswith("core/"):
+            continue
+        for node in ast.walk(info.tree):
+            # ForceLog(abort_record(...)) — presumed abort violation.
+            if isinstance(node, ast.Call) \
+                    and _dotted(node.func) == "ForceLog" and node.args \
+                    and isinstance(node.args[0], ast.Call) \
+                    and (_dotted(node.args[0].func) or "").endswith(
+                        "abort_record"):
+                out.append(ctx.finding(
+                    info, node, "lazy-log-force",
+                    "abort record is forced; presumed abort requires "
+                    "abort records to be written lazily (never forced)"))
+            # ForceLog inside an `if ... TwoPhaseVariant.OPTIMIZED` body.
+            if isinstance(node, ast.If) and any(
+                    isinstance(t, ast.Attribute) and t.attr == "OPTIMIZED"
+                    and (_dotted(t) or "").endswith(
+                        "TwoPhaseVariant.OPTIMIZED")
+                    for t in ast.walk(node.test)):
+                for inner in node.body:
+                    for c in ast.walk(inner):
+                        if isinstance(c, ast.Call) \
+                                and _dotted(c.func) == "ForceLog":
+                            out.append(ctx.finding(
+                                info, c, "lazy-log-force",
+                                "log force on the OPTIMIZED delayed-"
+                                "commit branch; the optimization exists "
+                                "to skip exactly this force"))
+    return out
+
+
+# ------------------------------------ rule: consumed fire-and-forget
+
+
+@rule("consumed-fire-and-forget",
+      "kernel.post()/post_soon() return None by design; consuming the "
+      "result means the caller wanted a cancellable schedule().")
+def check_consumed_fire_and_forget(ctx: LintContext) -> List[Finding]:
+    out: List[Finding] = []
+    for info in ctx.sim_files():
+        if info.tree is None:
+            continue
+        parents = _parent_map(info.tree)
+        for node in ast.walk(info.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("post", "post_soon")
+                    and _is_kernel_attr(node.func.value)):
+                continue
+            parent = parents.get(node)
+            if not isinstance(parent, ast.Expr):
+                out.append(ctx.finding(
+                    info, node, "consumed-fire-and-forget",
+                    f"result of fire-and-forget {node.func.attr}() is "
+                    f"consumed; it returns no Timer handle — use "
+                    f"schedule() if the caller needs to cancel"))
+    return out
+
+
+# ------------------------------------------------- rule: environment
+
+
+@rule("no-environ",
+      "Simulation code must read configuration from SystemConfig, "
+      "never the process environment (host-dependent => nondeterminism).")
+def check_no_environ(ctx: LintContext) -> List[Finding]:
+    out: List[Finding] = []
+    for info in ctx.sim_files():
+        if info.tree is None:
+            continue
+        for node in ast.walk(info.tree):
+            name = None
+            if isinstance(node, ast.Attribute):
+                name = _dotted(node)
+            elif isinstance(node, ast.Call):
+                name = _dotted(node.func)
+            if name in ("os.environ", "os.getenv", "os.environb"):
+                out.append(ctx.finding(
+                    info, node, "no-environ",
+                    f"{name} read in simulation code; route host "
+                    f"configuration through SystemConfig so runs are "
+                    f"reproducible from the spec alone"))
+    # Attribute nodes nest (os.environ.get walks twice); dedupe.
+    seen: Set[Tuple[str, int, str]] = set()
+    unique: List[Finding] = []
+    for f in out:
+        k = (f.file, f.line, f.rule)
+        if k not in seen:
+            seen.add(k)
+            unique.append(f)
+    return unique

@@ -22,7 +22,7 @@ Figure 4 experiment is a single-flag toggle.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+from typing import Any, Generator, Optional
 
 from repro.log.wal import WriteAheadLog
 from repro.sim.events import SimEvent

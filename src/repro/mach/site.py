@@ -13,7 +13,7 @@ failure injection has a single switch to flip:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List
 
 from repro.config import CostModel
 from repro.mach.ports import Port

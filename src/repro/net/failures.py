@@ -14,7 +14,7 @@ owns the schedule.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.net.lan import Lan
 from repro.sim.kernel import Kernel

@@ -25,7 +25,7 @@ protocols' retry paths.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.config import CostModel
 from repro.sim.kernel import Kernel

@@ -18,7 +18,7 @@ read naturally::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.config import CostModel

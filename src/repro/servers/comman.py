@@ -26,14 +26,13 @@ inefficient coding" — faithfully reproduced as a constant.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional, Set
+from typing import Any, Generator, Optional
 
 from repro.config import CostModel
 from repro.core.tid import TID
 from repro.mach.ipc import IpcFabric
 from repro.mach.message import Message
 from repro.mach.netmsgserver import NetMsgServer
-from repro.mach.ports import Port
 from repro.mach.site import Site
 from repro.mach.threads import CThreadsPool
 from repro.sim.kernel import Kernel

@@ -10,7 +10,7 @@ surprises.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.sim.kernel import Kernel, SimulationError
 

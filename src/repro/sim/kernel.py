@@ -90,6 +90,13 @@ class Kernel:
         self._live_processes = 0
         self._live = 0          # scheduled, not yet fired or cancelled
         self._cancelled = 0     # cancelled entries still sitting in the heap
+        # Opt-in instrumentation (e.g. the repro.lint race detector).
+        # When set, the monitor sees every schedule and every dispatch;
+        # when None (the default) the hot path pays one predictable
+        # branch per event.  Protocol: monitor.on_schedule(seq) at
+        # scheduling time, monitor.before_fire(time, seq, fn, args)
+        # immediately before each callback runs.
+        self.monitor: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -116,6 +123,8 @@ class Kernel:
         timer = Timer((self._now + delay, seq, fn, args, False, self))
         heappush(self._heap, timer)
         self._live += 1
+        if self.monitor is not None:
+            self.monitor.on_schedule(seq)
         return timer
 
     def call_soon(self, fn: Callable[..., None], *args: Any) -> Timer:
@@ -136,6 +145,8 @@ class Kernel:
         self._seq = seq + 1
         heappush(self._heap, [self._now + delay, seq, fn, args, False, None])
         self._live += 1
+        if self.monitor is not None:
+            self.monitor.on_schedule(seq)
 
     def post_soon(self, fn: Callable[..., None], *args: Any) -> None:
         """Fire-and-forget :meth:`call_soon` (see :meth:`post`)."""
@@ -143,6 +154,8 @@ class Kernel:
         self._seq = seq + 1
         heappush(self._heap, [self._now, seq, fn, args, False, None])
         self._live += 1
+        if self.monitor is not None:
+            self.monitor.on_schedule(seq)
 
     def _note_cancel(self) -> None:
         """Timer bookkeeping: keep ``pending`` O(1) and the heap bounded."""
@@ -183,6 +196,8 @@ class Kernel:
             fn, args = timer[2], timer[3]
             timer[2] = None  # mark fired for Timer.active
             timer[3] = ()
+            if self.monitor is not None:
+                self.monitor.before_fire(time, timer[1], fn, args)
             fn(*args)
             return True
 
@@ -226,6 +241,8 @@ class Kernel:
                 fn, args = timer[2], timer[3]
                 timer[2] = None  # mark fired for Timer.active
                 timer[3] = ()
+                if self.monitor is not None:
+                    self.monitor.before_fire(time, timer[1], fn, args)
                 fn(*args)
                 events += 1
         finally:

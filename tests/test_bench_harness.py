@@ -10,8 +10,7 @@ from repro.bench.experiment import (
 )
 from repro.bench.figures import FigureSeries
 from repro.config import rt_pc_profile
-from repro.core.outcomes import ProtocolKind, TwoPhaseVariant
-from repro import CamelotSystem, Outcome, SystemConfig
+from repro import CamelotSystem, SystemConfig
 from repro.bench.workloads import closed_loop, serial_minimal_txns, transfer
 
 

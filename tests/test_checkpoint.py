@@ -1,8 +1,7 @@
 """Checkpointing and log truncation."""
 
-import pytest
 
-from repro import CamelotSystem, Outcome, SystemConfig, TID
+from repro import CamelotSystem, Outcome, SystemConfig
 from repro.log.records import RecordKind
 from repro.log.storage import StableStore
 from repro.servers.recovery import analyze

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import CamelotSystem, SystemConfig, TID
+from repro import CamelotSystem, SystemConfig
 from repro.mach.message import Message
 
 

@@ -1,8 +1,7 @@
 """Deadlock handling: lock-wait timeouts, victims, read_for_update."""
 
-import pytest
 
-from repro import CamelotSystem, Outcome, SystemConfig, TID, TransactionAborted
+from repro import CamelotSystem, Outcome, SystemConfig, TransactionAborted
 from repro.core.tid import TID as TIDCls
 from repro.servers.lockmgr import LockManager, LockMode
 

@@ -8,7 +8,7 @@ approach does not slow down commitment in the regular case."
 
 import pytest
 
-from repro import CamelotSystem, Outcome, ProtocolKind, SystemConfig, TID
+from repro import CamelotSystem, Outcome, SystemConfig, TID
 from repro.core.outcomes import Vote
 from repro.core.messages import AbortNotice, CommitNotice
 from repro.core.twophase import (

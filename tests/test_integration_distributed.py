@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro import (
-    CamelotSystem,
-    Outcome,
-    ProtocolKind,
-    SystemConfig,
-    TwoPhaseVariant,
-)
+from repro import CamelotSystem, Outcome, SystemConfig, TwoPhaseVariant
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ These are the scenarios the non-blocking protocol exists for (paper
 able to decide, where two-phase commit blocks.
 """
 
-import pytest
 
 from repro import CamelotSystem, Outcome, ProtocolKind, SystemConfig
 

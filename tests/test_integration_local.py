@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import CamelotSystem, Outcome, ProtocolKind, SystemConfig, TID
+from repro import CamelotSystem, Outcome, SystemConfig, TID
 from repro.servers.application import TransactionAborted
 
 

@@ -1,0 +1,243 @@
+"""repro.lint: every rule fires on a seeded fixture, stays quiet on the
+repaired tree, and the CLI gates accordingly (ISSUE 2 acceptance)."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.__main__ import main as lint_main
+
+
+def _write(root: Path, rel: str, source: str) -> None:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+
+
+@pytest.fixture
+def fixture_tree(tmp_path: Path) -> Path:
+    """A mini package tree with exactly one violation per rule."""
+    _write(tmp_path, "sim/bad_clock.py", """
+        import os
+        import random
+        import time
+
+
+        class Broadcaster:
+            def __init__(self, kernel):
+                self.kernel = kernel
+
+            def go(self):
+                stamp = time.time()                      # wallclock
+                jitter = random.random()                 # unseeded-random
+                cache_dir = os.getenv("CACHE")           # no-environ
+                for dst in {"a", "b"}:                   # unordered-iteration
+                    self.kernel.post(0.0, print, dst)
+                handle = self.kernel.post_soon(print, 1) # consumed result
+                return stamp, jitter, cache_dir, handle
+        """)
+    _write(tmp_path, "core/messages.py", """
+        class ProtocolMessage:
+            pass
+
+
+        class Ping(ProtocolMessage):
+            pass
+
+
+        class Orphan(ProtocolMessage):
+            '''Seeded: never handled, not in ANY_MESSAGE.'''
+
+
+        ANY_MESSAGE = (Ping,)
+        """)
+    _write(tmp_path, "core/proto.py", """
+        from .messages import Ping
+
+
+        class TwoPhaseVariant:
+            OPTIMIZED = 1
+
+
+        def on_message(msg, variant):
+            if isinstance(msg, Ping):
+                return []
+            if variant is TwoPhaseVariant.OPTIMIZED:
+                return [ForceLog(commit_record("t"))]    # lazy-log-force
+            return [ForceLog(abort_record("t"))]         # presumed abort
+        """)
+    _write(tmp_path, "config.py", """
+        from dataclasses import dataclass
+
+
+        @dataclass
+        class CostModel:
+            log_force: float = 15.0
+            datagram: float = 10.0
+
+            def bcopy(self, kb):
+                return kb
+        """)
+    _write(tmp_path, "analysis/formulas.py", """
+        from config import CostModel
+
+
+        def total(c: CostModel):
+            return c.log_force + c.datagram_cost         # costmodel-attrs
+        """)
+    return tmp_path
+
+
+ALL_RULES = {
+    "wallclock", "unseeded-random", "no-environ", "unordered-iteration",
+    "consumed-fire-and-forget", "message-handlers", "lazy-log-force",
+    "costmodel-attrs",
+}
+
+
+def test_every_rule_fires_on_fixture(fixture_tree):
+    report = run_lint(root=fixture_tree)
+    assert {f.rule for f in report.findings} == ALL_RULES
+    # file:line pointing at real locations
+    for f in report.findings:
+        assert f.line >= 1
+        assert f.file
+
+
+def test_fixture_findings_carry_locations(fixture_tree):
+    report = run_lint(root=fixture_tree)
+    by_rule = {f.rule: f for f in report.findings}
+    assert by_rule["wallclock"].file.endswith("sim/bad_clock.py")
+    assert "time.time" in by_rule["wallclock"].message
+    assert by_rule["costmodel-attrs"].key == "attr:datagram_cost"
+    assert "Orphan" in by_rule["message-handlers"].message
+
+
+def test_cli_exits_nonzero_on_fixture(fixture_tree, capsys):
+    rc = lint_main([str(fixture_tree), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "[wallclock]" in out
+    # findings are file:line prefixed
+    assert "sim/bad_clock.py:" in out
+
+
+def test_cli_exits_zero_on_repaired_tree(capsys):
+    """The live package tree is the 'repaired tree': lint must pass."""
+    repo_root = Path(__file__).resolve().parent.parent
+    baseline = repo_root / "lint-baseline.json"
+    rc = lint_main(["--baseline", str(baseline)])
+    assert rc == 0
+
+
+def test_cli_json_format(fixture_tree, capsys):
+    rc = lint_main([str(fixture_tree), "--no-baseline", "--format", "json"])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert {f["rule"] for f in payload["findings"]} == ALL_RULES
+    for f in payload["findings"]:
+        assert set(f) == {"rule", "file", "line", "column", "message",
+                          "fingerprint"}
+
+
+def test_rule_filter_and_unknown_rule(fixture_tree, capsys):
+    rc = lint_main([str(fixture_tree), "--no-baseline",
+                    "--rules", "wallclock"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "[wallclock]" in out and "[no-environ]" not in out
+    assert lint_main([str(fixture_tree), "--rules", "nope"]) == 2
+
+
+def test_baseline_suppresses_and_gates_new(fixture_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    # Accept everything currently found...
+    rc = lint_main([str(fixture_tree), "--baseline", str(baseline),
+                    "--update-baseline"])
+    assert rc == 0
+    capsys.readouterr()
+    rc = lint_main([str(fixture_tree), "--baseline", str(baseline)])
+    assert rc == 0
+
+    entries = json.loads(baseline.read_text())["entries"]
+    assert entries and all(e["justification"] for e in entries)
+
+    # ...then a NEW violation still fails the gate.
+    _write(fixture_tree, "sim/new_bad.py", """
+        import time
+
+
+        def probe():
+            return time.monotonic()
+        """)
+    capsys.readouterr()
+    rc = lint_main([str(fixture_tree), "--baseline", str(baseline)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "new_bad.py" in out
+    assert "bad_clock.py" not in out  # old findings stay baselined
+
+
+def test_baseline_fingerprints_survive_line_shifts(fixture_tree, tmp_path,
+                                                   capsys):
+    baseline = tmp_path / "baseline.json"
+    lint_main([str(fixture_tree), "--baseline", str(baseline),
+               "--update-baseline"])
+    # Prepend comment lines: every finding's line number moves.
+    bad = fixture_tree / "sim/bad_clock.py"
+    bad.write_text("# moved\n# moved again\n" + bad.read_text())
+    capsys.readouterr()
+    assert lint_main([str(fixture_tree), "--baseline", str(baseline)]) == 0
+
+
+def test_determinism_rules_skip_harness_code(tmp_path):
+    """bench/ and analysis/ run outside the sim clock: wall-clock reads
+    there are legitimate (they time the harness itself)."""
+    _write(tmp_path, "bench/timing.py", """
+        import time
+
+
+        def wall():
+            return time.perf_counter()
+        """)
+    report = run_lint(root=tmp_path)
+    assert report.findings == []
+
+
+def test_sorted_iteration_is_clean(tmp_path):
+    _write(tmp_path, "sim/good.py", """
+        from typing import Set
+
+
+        class Fanout:
+            def __init__(self, kernel):
+                self.kernel = kernel
+                self.targets: Set[str] = set()
+
+            def go(self):
+                for dst in sorted(self.targets):
+                    self.kernel.post(0.0, print, dst)
+        """)
+    report = run_lint(root=tmp_path)
+    assert report.findings == []
+
+
+def test_unsorted_set_attr_feeding_effects_flagged(tmp_path):
+    _write(tmp_path, "core/fanout.py", """
+        from typing import Set
+
+
+        class Proto:
+            def __init__(self):
+                self.acked: Set[str] = set()
+
+            def resend(self):
+                return [SendDatagram(dst, "m") for dst in self.acked]
+        """)
+    report = run_lint(root=tmp_path)
+    assert [f.rule for f in report.findings] == ["unordered-iteration"]
+    assert "self.acked" in report.findings[0].message

@@ -1,6 +1,5 @@
 """Unit tests for log record types and serialisation."""
 
-import pytest
 
 from repro.log.records import (
     LogRecord,

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.config import rt_pc_profile
 from repro.mach.message import Message
 from repro.mach.ports import Port
-from repro.mach.threads import CThreadsPool, HierarchyGuard, LockHierarchy, RwLock
+from repro.mach.threads import CThreadsPool, LockHierarchy, RwLock
 from repro.sim.kernel import Kernel
 from repro.sim.process import Process, Sleep
 from repro.sim.resources import SimLock

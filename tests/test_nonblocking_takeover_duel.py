@@ -7,7 +7,6 @@ quorums) is the only thing standing between them and a split brain;
 these tests drive the race by hand through every interleaving class.
 """
 
-import pytest
 
 from repro.core.messages import (
     NbAbortJoin,
@@ -19,7 +18,6 @@ from repro.core.messages import (
 )
 from repro.core.nonblocking import (
     NB_TAKEOVER_TIMER,
-    NbProtocolViolation,
     NbSubState,
     NbSubordinate,
     NbTakeover,

@@ -6,7 +6,6 @@ transaction differently, and every surviving decision is consistent
 with the values on disk.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

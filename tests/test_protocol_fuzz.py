@@ -18,11 +18,9 @@ densely than the integration suite can.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.messages import NbVote, VoteResponse
 from repro.core.nonblocking import NbCoordinator, NbSubordinate
 from repro.core.outcomes import Outcome, Vote
 from repro.core.quorum import QuorumSpec

@@ -1,6 +1,5 @@
 """Recovery: pure log analysis plus crash/restart integration."""
 
-import pytest
 
 from repro import CamelotSystem, Outcome, ProtocolKind, SystemConfig, TID
 from repro.core.quorum import QuorumSpec

@@ -9,7 +9,6 @@ from repro import (
     SystemConfig,
     TransactionAborted,
 )
-from repro.core.outcomes import Vote
 
 
 def test_throughput_excludes_aborted_transactions():

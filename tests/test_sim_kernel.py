@@ -232,3 +232,90 @@ def test_reentrant_run_rejected():
     k.schedule(0.0, inner)
     with pytest.raises(SimulationError, match="reentrant"):
         k.run()
+
+
+def test_cancel_storm_with_posts_keeps_pending_exact():
+    """Fire-and-forget audit regression (PR 2): post()/post_soon()
+    entries interleaved with a cancel-heavy Timer storm must never
+    leave the O(1) ``pending`` counter stale — not when compaction
+    rebuilds the heap around them, not when cancellation happens from
+    inside a callback at the same instant as posted events.
+
+    post() entries carry no kernel backref (slot _KERNEL is None) and
+    can never be cancelled; the audit of the PR-1 call sites (IPC, LAN,
+    WAL watches, event triggers, process resume) confirmed each one
+    either never needs cancellation or guards liveness at fire time
+    instead.  This test pins the counter bookkeeping that audit relies
+    on.
+    """
+    k = Kernel()
+    fired = []
+    # Enough doomed timers to cross the compaction floor (64) several
+    # times while posts sit interleaved in the same heap.
+    doomed = [k.schedule(50.0 + (i % 7), fired.append, ("doomed", i))
+              for i in range(300)]
+    for i in range(50):
+        k.post(50.0 + (i % 7), fired.append, ("post", i))
+        k.post_soon(fired.append, ("soon", i))
+    survivors = [k.schedule(60.0, fired.append, ("live", i))
+                 for i in range(3)]
+    assert k.pending == 300 + 100 + 3
+
+    def cancel_all():
+        for t in doomed:
+            t.cancel()
+        # Compaction has rebuilt the heap: every not-yet-fired post and
+        # survivor is still pending (the 50 post_soon events fired at
+        # t=0), every doomed timer is gone from the count.
+        assert k.pending == 50 + 3
+
+    k.schedule(1.0, cancel_all)
+    k.run()
+    assert k.pending == 0
+    assert k.heap_size == 0
+    assert len([f for f in fired if f[0] == "post"]) == 50
+    assert len([f for f in fired if f[0] == "soon"]) == 50
+    assert len([f for f in fired if f[0] == "live"]) == 3
+    assert not [f for f in fired if f[0] == "doomed"]
+    assert all(t.active is False for t in doomed + survivors)
+
+
+def test_monitor_hook_sees_every_event_without_reordering():
+    """Kernel.monitor (the race-detector hook) must observe every
+    schedule and every dispatch while leaving event order untouched."""
+
+    class Recorder:
+        def __init__(self):
+            self.scheduled = []
+            self.fired = []
+
+        def on_schedule(self, seq):
+            self.scheduled.append(seq)
+
+        def before_fire(self, time, seq, fn, args):
+            self.fired.append((time, seq))
+
+    def workload(k, order):
+        k.schedule(2.0, order.append, "s2")
+        k.post(1.0, order.append, "p1")
+        k.post_soon(order.append, "now")
+        doomed = k.schedule(5.0, order.append, "never")
+        k.schedule(3.0, doomed.cancel)
+
+    plain = Kernel()
+    plain_order = []
+    workload(plain, plain_order)
+    plain.run()
+
+    k = Kernel()
+    mon = Recorder()
+    k.monitor = mon
+    monitored_order = []
+    workload(k, monitored_order)
+    k.run()
+
+    assert monitored_order == plain_order == ["now", "p1", "s2"]
+    assert len(mon.scheduled) == 5          # every schedule/post/post_soon
+    assert len(mon.fired) == 4              # cancelled timer never fires
+    times = [t for t, _ in mon.fired]
+    assert times == sorted(times)

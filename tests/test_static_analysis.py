@@ -75,6 +75,69 @@ def test_path_counts_table():
         path_counts("three_phase", "write", 1)
 
 
+def test_path_counts_unknown_op_raises():
+    """An unknown op must not silently fall through to the write table."""
+    with pytest.raises(ValueError, match="unknown op"):
+        path_counts("two_phase", "banana", 1)
+    with pytest.raises(ValueError, match="unknown op"):
+        path_counts("non_blocking", "", 1)
+
+
+def test_path_counts_unknown_protocol_raises_before_op():
+    """Protocol is validated even for read ops (no read shortcut past
+    the protocol check)."""
+    with pytest.raises(ValueError, match="unknown protocol"):
+        path_counts("three_phase", "read", 1)
+
+
+@pytest.mark.parametrize("protocol,builder", [
+    ("two_phase", twophase_update_critical),
+    ("non_blocking", nonblocking_update_critical),
+])
+@pytest.mark.parametrize("n_subs", [1, 2, 3])
+def test_formula_primitives_match_path_counts(protocol, builder, n_subs):
+    """The Table-3 formulas and the §4.3 count table must agree on the
+    number of critical-path primitives *per kind* for both protocols.
+
+    Datagram terms in the formulas are per-subordinate-round (count 1
+    regardless of fan-out: parallel sends), so the distinct datagram
+    rounds — not the fan-out-weighted count — must match the table.
+    """
+    path = builder(n_subs)
+    counts = path_counts(protocol, "write", n_subs)
+    force_terms = sum(t.count for t in path.terms if "log force" in t.name)
+    datagram_rounds = sum(1 for t in path.terms if "datagram" in t.name)
+    assert force_terms == counts["log_forces"]
+    assert datagram_rounds == counts["datagrams"]
+
+
+def test_count_of_sums_duplicate_terms():
+    path = twophase_update_critical(2)
+    # One prepare datagram round regardless of fan-out...
+    assert path.count_of("datagram (prepare)") == 1
+    # ...and zero occurrences of an unknown primitive.
+    assert path.count_of("no-such-primitive") == 0
+    # count_of sums across repeated terms of the same name.
+    from repro.analysis.static_analysis import PathTerm, StaticPath
+    dup = StaticPath("dup", [PathTerm("x", 2, 1.0), PathTerm("x", 3, 1.0)])
+    assert dup.count_of("x") == 5
+
+
+def test_rows_formatting_details():
+    """rows() renders one aligned line per term plus a TOTAL line whose
+    value equals the path total."""
+    path = twophase_update_completion(1)
+    rows = path.rows()
+    assert len(rows) == len(path.terms) + 1
+    for term, row in zip(path.terms, rows):
+        assert row.startswith(term.name)
+        assert f"x{term.count:<4g}" in row
+        assert f"{term.total:7.1f} ms" in row
+    total_row = rows[-1]
+    assert total_row.startswith("TOTAL " + path.label)
+    assert f"{path.total:7.1f} ms" in total_row
+
+
 def test_nb_ratio_roughly_two_to_one():
     """'The critical path of the non-blocking protocol is about twice
     the length of that of two-phase commit' — on the protocol-only

@@ -7,7 +7,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis.stats import (
-    Summary,
     coefficient_of_variation,
     percentile,
     summarize,

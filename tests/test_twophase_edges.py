@@ -1,7 +1,6 @@
 """Additional 2PC edge cases: recovery interplay, late messages, and
 force/crash interleavings at the WAL level."""
 
-import pytest
 
 from repro.core.messages import (
     CommitAck,
@@ -10,7 +9,7 @@ from repro.core.messages import (
     TxnInquiry,
     VoteResponse,
 )
-from repro.core.outcomes import Outcome, TwoPhaseVariant, Vote
+from repro.core.outcomes import Outcome, Vote
 from repro.core.tid import TID
 from repro.core.twophase import (
     CoordinatorState,

@@ -15,7 +15,6 @@ from repro.core.outcomes import Outcome, TwoPhaseVariant, Vote
 from repro.core.tid import TID
 from repro.core.twophase import (
     ProtocolViolation,
-    CoordinatorState,
     SubordinateState,
     TwoPhaseCoordinator,
     TwoPhaseSubordinate,
