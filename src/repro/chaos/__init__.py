@@ -1,0 +1,54 @@
+"""Deterministic chaos exploration for the integrated Camelot system.
+
+The paper's headline claims — delayed commit never violates atomicity
+despite dropping locks before the commit record is durable (§3), and
+the non-blocking protocol survives any single crash or partition (§5)
+— are properties of the *whole* stack: LAN, WAL, recovery, and the
+transaction manager together.  This package checks them mechanically:
+
+- :mod:`repro.chaos.schedule` — fault schedules (crash / restart /
+  partition / heal / loss) as replayable data, plus a seeded random
+  generator;
+- :mod:`repro.chaos.boundaries` — a :attr:`Kernel.monitor` probe that
+  records every protocol-message arrival in a fault-free golden run and
+  enumerates a crash of each site at each such boundary (systematic
+  mode);
+- :mod:`repro.chaos.scenario` — runs one full two/three-site scenario
+  under a schedule and snapshots the end state;
+- :mod:`repro.chaos.oracles` — read-only invariant checks (atomicity,
+  durability, delayed-commit discipline, lock leakage, resolution);
+- :mod:`repro.chaos.shrinker` — delta-debugs a failing schedule to a
+  minimal fault sequence and writes a replayable JSON repro;
+- :mod:`repro.chaos.bugs` — deliberately seeded protocol bugs used to
+  prove the oracles have teeth.
+
+Everything is seeded and runs on virtual time only; the same spec and
+schedule always produce byte-identical traces (``python -m repro.chaos
+--replay <file>`` re-executes a repro and verifies exactly that).
+"""
+
+from repro.chaos.bugs import BUGS, seeded_bug
+from repro.chaos.boundaries import golden_boundaries, systematic_schedules
+from repro.chaos.oracles import ORACLES, Violation, run_oracles
+from repro.chaos.scenario import RunResult, ScenarioSpec, run_schedule
+from repro.chaos.schedule import FaultEvent, FaultSchedule, random_schedule
+from repro.chaos.shrinker import load_repro, shrink_schedule, write_repro
+
+__all__ = [
+    "BUGS",
+    "FaultEvent",
+    "FaultSchedule",
+    "ORACLES",
+    "RunResult",
+    "ScenarioSpec",
+    "Violation",
+    "golden_boundaries",
+    "load_repro",
+    "random_schedule",
+    "run_oracles",
+    "run_schedule",
+    "seeded_bug",
+    "shrink_schedule",
+    "systematic_schedules",
+    "write_repro",
+]

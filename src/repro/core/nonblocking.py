@@ -147,9 +147,11 @@ class NbCoordinator:
                  vote_timeout_ms: float = 1500.0,
                  repl_timeout_ms: float = 1500.0,
                  notify_timeout_ms: float = 1500.0,
-                 max_prepare_retries: int = 3):
+                 max_prepare_retries: int = 3,
+                 already_pledged: bool = False):
         self.tid = tid
         self.site = site
+        self.already_pledged = already_pledged
         self.subordinates = list(subordinates)
         self.sites = [site] + self.subordinates
         self.quorum = quorum or QuorumSpec.majority(len(self.sites))
@@ -185,6 +187,15 @@ class NbCoordinator:
     def on_local_prepared(self, vote: Vote) -> Effects:
         if self.state is not NbCoordinatorState.LOCAL_PREPARING:
             return []
+        if self.already_pledged:
+            # This site granted a durable abort pledge to a concurrent
+            # takeover before commitment began: it promised never to
+            # join the commit quorum, so coordinating a commit now could
+            # let both quorums form.  Abort — always legal here, since
+            # replication has not started.
+            self.local_vote = Vote.NO
+            return [Trace("nb.pledged_coordinator_abort",
+                          {"tid": str(self.tid)})] + self._decide_abort()
         self.local_vote = vote
         if vote is Vote.NO:
             return self._decide_abort()
@@ -684,9 +695,10 @@ class NbSubordinate:
                 raise NbProtocolViolation(
                     f"{self.tid}: commit outcome before vote at {self.site}")
         if msg.outcome is Outcome.COMMITTED:
-            if self.state is NbSubState.PLEDGED:
-                raise NbProtocolViolation(
-                    f"{self.tid}: commit outcome at pledged site {self.site}")
+            # A pledged site may still learn COMMITTED: its pledge only
+            # kept it out of the commit quorum, which formed from other
+            # sites.  Quorum intersection rules out a *decided* abort
+            # coexisting, so adopting the outcome is safe.
             self.outcome = Outcome.COMMITTED
             self.state = NbSubState.DONE
             effects.extend([

@@ -344,7 +344,11 @@ class TransactionManager:
                 use_multicast=self.use_multicast,
                 vote_timeout_ms=self.cost.protocol_timeout,
                 repl_timeout_ms=self.cost.protocol_timeout,
-                notify_timeout_ms=self.cost.protocol_timeout)
+                notify_timeout_ms=self.cost.protocol_timeout,
+                # A takeover may have extracted our abort pledge while
+                # the family sat idle here; the coordinator must then
+                # refuse to drive a commit (see on_local_prepared).
+                already_pledged=str(tid) in self.pledges)
         else:
             machine = TwoPhaseCoordinator(
                 tid, self.site.name, subordinates, variant=variant,
@@ -715,6 +719,13 @@ class TransactionManager:
 
         if record.kind is RecordKind.ABORT_PLEDGE:
             self.pledges.add(record.tid)
+            tid = TID.parse(record.tid)
+            sub = self.machines.get(tid)
+            if isinstance(sub, NbSubordinate):
+                # A takeover's self-pledge must also bind the co-resident
+                # participant machine, or it could later accept a
+                # replicate and put this site in both quorums.
+                self.kernel.post_soon(sub.note_local_pledge)
         elif record.kind is RecordKind.REPLICATION:
             tid = TID.parse(record.tid)
             sub = self.machines.get(tid)

@@ -30,8 +30,10 @@ from repro.lint.registry import all_rules
 # Package subtrees whose code runs *inside* the simulation: the
 # determinism rules (wall-clock, RNG, iteration order, environment)
 # apply here.  bench/ and analysis/ run outside the sim clock and may
-# legitimately read wall time (they time the harness itself).
-SIM_SCOPED_DIRS = ("sim", "core", "net", "mach", "log", "servers")
+# legitimately read wall time (they time the harness itself).  chaos/
+# qualifies because its schedules, oracles, and shrinker must be
+# byte-deterministic for repros to replay.
+SIM_SCOPED_DIRS = ("sim", "core", "net", "mach", "log", "servers", "chaos")
 SIM_SCOPED_FILES = ("system.py", "config.py")
 
 

@@ -438,3 +438,83 @@ def check_no_environ(ctx: LintContext) -> List[Finding]:
             seen.add(k)
             unique.append(f)
     return unique
+
+
+# ------------------------------------------ rule: chaos oracle purity
+
+
+_MUTATOR_METHODS = {
+    "append", "add", "update", "pop", "popleft", "popitem", "remove",
+    "clear", "extend", "insert", "discard", "setdefault", "appendleft",
+    "sort", "reverse",
+}
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base Name of an attribute/subscript/call chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@rule("chaos-oracle-readonly",
+      "Chaos oracles judge a finished run: they may read tracer/kernel/"
+      "tranman state through their context but must never mutate it.")
+def check_chaos_oracle_readonly(ctx: LintContext) -> List[Finding]:
+    info = ctx.file("chaos/oracles.py")
+    if info is None or info.tree is None:
+        return []
+    out: List[Finding] = []
+    for func in info.tree.body:
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        decorated = any(
+            isinstance(d, ast.Call) and (_dotted(d.func) or "") == "oracle"
+            for d in func.decorator_list)
+        if not decorated or not func.args.args:
+            continue
+        # Taint the context parameter plus any local bound from it.
+        tainted: Set[str] = {func.args.args[0].arg}
+        for n in ast.walk(func):
+            if isinstance(n, ast.Assign) and isinstance(n.value, ast.AST) \
+                    and _root_name(n.value) in tainted:
+                for t in n.targets:
+                    if isinstance(t, ast.Name):
+                        tainted.add(t.id)
+            elif isinstance(n, (ast.For, ast.comprehension)) \
+                    and _root_name(n.iter) in tainted:
+                t = n.target
+                if isinstance(t, ast.Name):
+                    tainted.add(t.id)
+                elif isinstance(t, ast.Tuple):
+                    tainted.update(e.id for e in t.elts
+                                   if isinstance(e, ast.Name))
+
+        def flag(node: ast.AST, what: str) -> None:
+            out.append(ctx.finding(
+                info, node, "chaos-oracle-readonly",
+                f"oracle {func.name!r} {what}; oracles must be "
+                f"read-only observers of the finished run"))
+
+        for n in ast.walk(func):
+            if isinstance(n, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = n.targets if isinstance(n, ast.Assign) \
+                    else [n.target]
+                for t in targets:
+                    if isinstance(t, (ast.Attribute, ast.Subscript)) \
+                            and _root_name(t) in tainted:
+                        flag(n, "assigns into simulation state")
+            elif isinstance(n, ast.Delete):
+                for t in n.targets:
+                    if isinstance(t, (ast.Attribute, ast.Subscript)) \
+                            and _root_name(t) in tainted:
+                        flag(n, "deletes simulation state")
+            elif isinstance(n, ast.Call) \
+                    and isinstance(n.func, ast.Attribute) \
+                    and n.func.attr in _MUTATOR_METHODS \
+                    and _root_name(n.func.value) in tainted:
+                flag(n, f"calls mutator .{n.func.attr}() on "
+                        f"simulation state")
+    return out

@@ -10,6 +10,12 @@ Experiments and tests describe failure scenarios declaratively::
 Restart delegates to a caller-supplied hook (the system assembly layer
 re-spawns the Camelot processes and runs recovery); the injector only
 owns the schedule.
+
+Primitives are idempotent under generated schedules: crashing a site
+that is already down, restarting one that is already up, and healing
+when no partition is active are validated no-ops — each leaves a
+``*_noop`` entry in the trace and the failure log rather than silently
+diverging (a random schedule generator relies on this).
 """
 
 from __future__ import annotations
@@ -34,21 +40,37 @@ class FailureInjector:
 
     # ------------------------------------------------------ primitives
 
-    def crash(self, site_name: str) -> None:
+    def _site(self, site_name: str) -> Any:
         site = self.lan.sites.get(site_name)
         if site is None:
             raise KeyError(f"unknown site {site_name!r}")
+        return site
+
+    def crash(self, site_name: str) -> None:
+        site = self._site(site_name)
+        if not getattr(site, "alive", True):
+            # Already down: idempotent, but leave a trace of the attempt.
+            self.tracer.record(self.kernel.now, "fail.crash_noop",
+                               site=site_name)
+            self.log.append((self.kernel.now, "crash_noop", site_name))
+            return
         self.tracer.record(self.kernel.now, "fail.crash", site=site_name)
         self.log.append((self.kernel.now, "crash", site_name))
         site.crash()
 
     def restart(self, site_name: str) -> None:
+        site = self._site(site_name)
+        if getattr(site, "alive", True):
+            # Already up: restarting a live site would tear down nothing
+            # and then collide with its existing ports; no-op instead.
+            self.tracer.record(self.kernel.now, "fail.restart_noop",
+                               site=site_name)
+            self.log.append((self.kernel.now, "restart_noop", site_name))
+            return
         self.tracer.record(self.kernel.now, "fail.restart", site=site_name)
         self.log.append((self.kernel.now, "restart", site_name))
         if self.restart_hook is None:
-            site = self.lan.sites.get(site_name)
-            if site is not None:
-                site.restart()
+            site.restart()
         else:
             self.restart_hook(site_name)
 
@@ -59,6 +81,10 @@ class FailureInjector:
         self.lan.partition(groups)
 
     def heal(self) -> None:
+        if not self.lan.partitioned:
+            self.tracer.record(self.kernel.now, "fail.heal_noop")
+            self.log.append((self.kernel.now, "heal_noop", None))
+            return
         self.tracer.record(self.kernel.now, "fail.heal")
         self.log.append((self.kernel.now, "heal", None))
         self.lan.heal()
@@ -66,6 +92,8 @@ class FailureInjector:
     def set_loss(self, probability: float) -> None:
         if not 0.0 <= probability < 1.0:
             raise ValueError("loss probability must be in [0, 1)")
+        self.tracer.record(self.kernel.now, "fail.loss",
+                           probability=probability)
         self.log.append((self.kernel.now, "loss", probability))
         self.lan.loss_probability = probability
 

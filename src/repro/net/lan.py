@@ -21,6 +21,13 @@ liveness at arrival time) and clean partitions (site groups; messages
 crossing a group boundary are silently dropped, as on a real LAN where
 the bridge went away).  Optional uniform message loss exercises the
 protocols' retry paths.
+
+Every dropped datagram is accounted by cause — random loss
+(``dropped_loss`` / ``net.lost``), a partition boundary
+(``dropped_partition`` / ``net.drop.partition``), or a dead sender or
+destination (``dropped_dead`` / ``net.drop.dead``) — so fault-injection
+oracles can tell a lossy link from a severed or crashed one.
+``dropped`` remains the total.
 """
 
 from __future__ import annotations
@@ -53,7 +60,21 @@ class Lan:
         self.in_flight = 0
         self.loss_probability = 0.0
         self.delivered = 0
-        self.dropped = 0
+        self.dropped_loss = 0
+        self.dropped_partition = 0
+        self.dropped_dead = 0
+
+    @property
+    def dropped(self) -> int:
+        """Total drops across all causes (loss + partition + dead site)."""
+        return self.dropped_loss + self.dropped_partition + self.dropped_dead
+
+    def drop_counts(self) -> Dict[str, int]:
+        """Per-cause drop counters, as the trace summary exposes them."""
+        return {"loss": self.dropped_loss,
+                "partition": self.dropped_partition,
+                "dead": self.dropped_dead,
+                "total": self.dropped}
 
     # ------------------------------------------------------ membership
 
@@ -81,6 +102,11 @@ class Lan:
     def heal(self) -> None:
         """Remove all partitions."""
         self._group = {name: 0 for name in self._group}
+
+    @property
+    def partitioned(self) -> bool:
+        """True while any site sits outside group 0."""
+        return any(gid != 0 for gid in self._group.values())
 
     def reachable(self, src: str, dst: str) -> bool:
         return self._group.get(src, 0) == self._group.get(dst, 0)
@@ -139,7 +165,9 @@ class Lan:
         still apply.
         """
         if not self.site_alive(src):
-            self.dropped += 1
+            self.dropped_dead += 1
+            self.tracer.record(self.kernel.now, "net.drop.dead", site=src,
+                               dst=dst)
             return
         send_delay = self._serialize_send(src, self.cost.datagram_send_cycle)
         if latency_override is not None:
@@ -151,7 +179,7 @@ class Lan:
                        + self._jitter())
         self.tracer.record(self.kernel.now, "net.datagram", site=src, dst=dst)
         if self._lost():
-            self.dropped += 1
+            self.dropped_loss += 1
             self.tracer.record(self.kernel.now, "net.lost", site=src, dst=dst)
             return
         self.in_flight += 1
@@ -166,7 +194,9 @@ class Lan:
         customise per-destination payloads while sharing the transmission.
         """
         if not self.site_alive(src):
-            self.dropped += len(dsts)
+            self.dropped_dead += len(dsts)
+            self.tracer.record(self.kernel.now, "net.drop.dead", site=src,
+                               fanout=len(dsts))
             return
         send_delay = self._serialize_send(src, self.cost.multicast_send_cycle)
         transit = (max(0.0, self.cost.datagram - self.cost.multicast_send_cycle)
@@ -175,7 +205,7 @@ class Lan:
                            fanout=len(dsts))
         for dst in dsts:
             if self._lost():
-                self.dropped += 1
+                self.dropped_loss += 1
                 self.tracer.record(self.kernel.now, "net.lost", site=src, dst=dst)
                 continue
             self.in_flight += 1
@@ -184,9 +214,15 @@ class Lan:
 
     def _arrive(self, src: str, dst: str, payload: Any, deliver: DeliverFn) -> None:
         self.in_flight -= 1
-        if not self.reachable(src, dst) or not self.site_alive(dst):
-            self.dropped += 1
-            self.tracer.record(self.kernel.now, "net.unreachable", site=src, dst=dst)
+        if not self.reachable(src, dst):
+            self.dropped_partition += 1
+            self.tracer.record(self.kernel.now, "net.drop.partition",
+                               site=src, dst=dst)
+            return
+        if not self.site_alive(dst):
+            self.dropped_dead += 1
+            self.tracer.record(self.kernel.now, "net.drop.dead", site=src,
+                               dst=dst)
             return
         self.delivered += 1
         deliver(payload)

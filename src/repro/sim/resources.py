@@ -56,7 +56,18 @@ class SimLock:
             return
         ev = SimEvent(self._kernel, name=f"{self.name}.acquire")
         self._waiters.append((ev, owner))
-        yield Wait(ev)
+        try:
+            yield Wait(ev)
+        except BaseException:
+            # Killed while waiting (site crash).  Un-register, or — if
+            # the lock was already handed to us as we died — pass it on,
+            # otherwise it stays held by a corpse forever.
+            try:
+                self._waiters.remove((ev, owner))
+            except ValueError:
+                if ev.triggered:
+                    self.release()
+            raise
 
     def try_acquire(self, owner: Any = None) -> bool:
         """Non-blocking acquire; True on success."""
@@ -104,7 +115,19 @@ class Semaphore:
             return
         ev = SimEvent(self._kernel, name=f"{self.name}.down")
         self._waiters.append(ev)
-        yield Wait(ev)
+        try:
+            yield Wait(ev)
+        except BaseException:
+            # Killed while waiting (site crash).  Un-register, or — if a
+            # unit was already handed to us as we died — return it, else
+            # the semaphore leaks capacity permanently (a restarted
+            # site's CPU would otherwise stay saturated by ghosts).
+            try:
+                self._waiters.remove(ev)
+            except ValueError:
+                if ev.triggered:
+                    self.up()
+            raise
 
 
 class Channel:
@@ -145,7 +168,18 @@ class Channel:
             return self._items.popleft()
         ev = SimEvent(self._kernel, name=f"{self.name}.get")
         self._getters.append(ev)
-        item = yield Wait(ev)
+        try:
+            item = yield Wait(ev)
+        except BaseException:
+            # Killed while waiting (site crash).  Un-register, or — if an
+            # item was already handed to us as we died — requeue it at
+            # the head so the next getter sees it in order.
+            try:
+                self._getters.remove(ev)
+            except ValueError:
+                if ev.triggered:
+                    self.put_front(ev.value)
+            raise
         return item
 
     def try_get(self) -> tuple[bool, Any]:
@@ -183,7 +217,17 @@ class Condition:
         ev = SimEvent(self._kernel, name=f"{self.name}.wait")
         self._waiters.append(ev)
         self._lock.release()
-        yield Wait(ev)
+        try:
+            yield Wait(ev)
+        except BaseException:
+            # Killed while waiting (site crash): un-register, or pass a
+            # signal that already reached us on to the next waiter.
+            try:
+                self._waiters.remove(ev)
+            except ValueError:
+                if ev.triggered:
+                    self.signal()
+            raise
         yield from self._lock.acquire(owner=owner)
 
     def signal(self) -> None:

@@ -63,9 +63,48 @@ def test_loss_probability_setting(system):
 
 def test_failure_log_records_actions(system):
     system.failures.crash("a")
+    system.failures.heal()   # nothing partitioned: validated no-op
+    kinds = [kind for _, kind, __ in system.failures.log]
+    assert kinds == ["crash", "heal_noop"]
+
+
+def test_crash_of_dead_site_is_noop(system):
+    system.failures.crash("a")
+    system.failures.crash("a")
+    kinds = [kind for _, kind, __ in system.failures.log]
+    assert kinds == ["crash", "crash_noop"]
+    assert system.runtime("a").site.crash_count == 1
+    assert system.tracer.counters.get("fail.crash_noop") == 1
+
+
+def test_restart_of_live_site_is_noop(system):
+    old_port = system.runtime("a").tranman.port
+    system.failures.restart("a")
+    kinds = [kind for _, kind, __ in system.failures.log]
+    assert kinds == ["restart_noop"]
+    # A live site's ports must be untouched by the no-op.
+    assert system.runtime("a").tranman.port is old_port
+
+
+def test_heal_noop_real_noop_sequence(system):
+    system.failures.heal()
+    system.failures.partition([["a"], ["b"]])
+    system.failures.heal()
     system.failures.heal()
     kinds = [kind for _, kind, __ in system.failures.log]
-    assert kinds == ["crash", "heal"]
+    assert kinds == ["heal_noop", "partition", "heal", "heal_noop"]
+    assert system.lan.reachable("a", "b")
+
+
+def test_set_loss_is_traced(system):
+    system.failures.set_loss(0.25)
+    assert system.tracer.counters.get("fail.loss") == 1
+    assert system.failures.log[-1][1:] == ("loss", 0.25)
+
+
+def test_restart_of_unknown_site_rejected(system):
+    with pytest.raises(KeyError):
+        system.failures.restart("nope")
 
 
 def test_dead_site_cannot_spawn(system):

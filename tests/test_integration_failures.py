@@ -241,3 +241,28 @@ def test_nb_subordinate_crash_mid_protocol_rest_decide():
     tid = state["tid"]
     outcomes = {system.tranman(s).tombstones.get(tid) for s in ("a", "c")}
     assert len(outcomes) == 1 and outcomes != {None}
+
+def test_2pc_subordinate_crash_in_delayed_commit_window_recovers_commit():
+    """Delayed commit's exposure: b gets the commit notice ~150ms, does
+    its local commit, but writes the commit record *lazily*.  Crash in
+    that window — locally committed, record not yet durable — and
+    recovery must re-learn COMMITTED from the coordinator by inquiry,
+    never by a heuristic guess."""
+    system = build()
+    state = start_txn(system, ProtocolKind.TWO_PHASE)
+    system.run_for(168.0)
+    # Prove we are inside the window: prepare durable, commit buffered.
+    wal = system.runtime("b").diskman.wal
+    durable = [r.kind.name for r in wal.durable_records()]
+    assert "PREPARE" in durable and "COMMIT" not in durable
+    assert "COMMIT" in [r.kind.name for r in wal.buffered_records()]
+    system.failures.crash("b")
+    system.failures.restart_at(5_000.0, "b")
+    system.run_for(60_000.0)
+    assert state.get("outcome") is Outcome.COMMITTED
+    tid = state["tid"]
+    assert system.tranman("b").tombstones.get(tid) is Outcome.COMMITTED
+    assert system.server("server0@b").peek("x") == 9
+    assert not locks_held(system, "b")
+    assert system.tracer.count("2pc.heuristic_resolve") == 0
+    assert system.tracer.count("2pc.heuristic_damage") == 0

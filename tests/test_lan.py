@@ -66,6 +66,8 @@ def test_partition_drops_cross_group_traffic():
     k.run()
     assert arrived == ["y"]
     assert lan.dropped == 1
+    assert lan.dropped_partition == 1
+    assert lan.dropped_loss == 0 and lan.dropped_dead == 0
 
 
 def test_heal_restores_connectivity():
@@ -107,6 +109,8 @@ def test_crashed_destination_loses_mail():
     k.run()
     assert arrived == []
     assert lan.dropped == 1
+    assert lan.dropped_dead == 1
+    assert lan.dropped_partition == 0 and lan.dropped_loss == 0
 
 
 def test_crashed_source_cannot_send():
@@ -178,3 +182,57 @@ def test_send_jitter_charged_per_event_not_per_destination():
                   lambda d: (lambda p: arrivals.append(k.now)))
     k.run()
     assert len(set(arrivals)) == 1  # one draw for the whole group
+
+
+def test_drop_counters_split_by_cause():
+    class FakeSite:
+        alive = True
+
+    k = Kernel()
+    tracer = Tracer()
+    lan = Lan(k, quiet_cost(), RngStreams(0), tracer)
+    sites = {name: FakeSite() for name in ("a", "b", "c")}
+    for name, site in sites.items():
+        lan.register_site(name, site)
+
+    # Partition drop: a -> b across the boundary.
+    lan.partition([["a"], ["b", "c"]])
+    assert lan.partitioned
+    lan.unicast("a", "b", "x", lambda p: None)
+    k.run()
+    lan.heal()
+    assert not lan.partitioned
+
+    # Dead-destination drop: c dies while mail is in flight.
+    lan.unicast("a", "c", "x", lambda p: None)
+    sites["c"].alive = False
+    k.run()
+    sites["c"].alive = True
+
+    # Loss drop: force certain loss for one send.
+    lan.loss_probability = 0.999999
+    lan.unicast("a", "b", "x", lambda p: None)
+    k.run()
+
+    assert lan.drop_counts() == {"loss": 1, "partition": 1, "dead": 1,
+                                 "total": 3}
+    assert lan.dropped == 3
+    assert tracer.counters.get("net.drop.partition") == 1
+    assert tracer.counters.get("net.drop.dead") == 1
+    assert tracer.counters.get("net.lost") == 1
+
+
+def test_dead_source_counts_as_dead_drop():
+    class FakeSite:
+        alive = False
+
+    k = Kernel()
+    tracer = Tracer()
+    lan = Lan(k, quiet_cost(), RngStreams(0), tracer)
+    lan.register_site("a", FakeSite())
+    lan.register_site("b", None)
+    lan.unicast("a", "b", "x", lambda p: None)
+    lan.multicast("a", ["b"], lambda d: d, lambda d: (lambda p: None))
+    k.run()
+    assert lan.dropped_dead == 2
+    assert tracer.counters.get("net.drop.dead") == 2

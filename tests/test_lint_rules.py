@@ -88,13 +88,25 @@ def fixture_tree(tmp_path: Path) -> Path:
         def total(c: CostModel):
             return c.log_force + c.datagram_cost         # costmodel-attrs
         """)
+    _write(tmp_path, "chaos/oracles.py", """
+        def oracle(name):
+            def register(fn):
+                return fn
+            return register
+
+
+        @oracle("meddling")
+        def check_meddling(ctx):
+            ctx.system.tracer.events.clear()   # chaos-oracle-readonly
+            return []
+        """)
     return tmp_path
 
 
 ALL_RULES = {
     "wallclock", "unseeded-random", "no-environ", "unordered-iteration",
     "consumed-fire-and-forget", "message-handlers", "lazy-log-force",
-    "costmodel-attrs",
+    "costmodel-attrs", "chaos-oracle-readonly",
 }
 
 
@@ -241,3 +253,45 @@ def test_unsorted_set_attr_feeding_effects_flagged(tmp_path):
     report = run_lint(root=tmp_path)
     assert [f.rule for f in report.findings] == ["unordered-iteration"]
     assert "self.acked" in report.findings[0].message
+
+
+def test_oracle_mutations_flagged_reads_clean(tmp_path):
+    """chaos-oracle-readonly: every mutation shape through the context
+    parameter (or a local aliasing it) fires; pure reads stay clean."""
+    _write(tmp_path, "chaos/oracles.py", """
+        def oracle(name):
+            def register(fn):
+                return fn
+            return register
+
+
+        @oracle("dirty")
+        def check_dirty(ctx):
+            ctx.state["outcome"] = None             # subscript assign
+            ctx.system.lan.loss_probability = 0.5   # attribute assign
+            ctx.system.lan.delivered += 1           # aug-assign
+            del ctx.state["tid"]                    # delete
+            machines = ctx.system.tranman("a").machines
+            machines.pop("T1")                      # mutator via alias
+            return []
+
+
+        @oracle("clean")
+        def check_clean(ctx):
+            violations = []
+            for site in ctx.live_sites():
+                if ctx.tombstone(site) is None:
+                    violations.append(site)         # local list: fine
+            counts = dict(ctx.system.tracer.counters)
+            counts.update(extra=1)                  # copy, not sim state
+            return violations
+
+
+        def helper_not_an_oracle(ctx):
+            ctx.state.clear()                       # undecorated: exempt
+        """)
+    report = run_lint(root=tmp_path, rule_ids=["chaos-oracle-readonly"])
+    flagged = [f for f in report.findings if "check_dirty" in f.message]
+    assert len(flagged) == 5
+    assert not [f for f in report.findings if "check_clean" in f.message]
+    assert not [f for f in report.findings if "helper" in f.message]

@@ -268,15 +268,20 @@ def test_pledge_is_forced_before_acknowledged():
     assert acks and acks[0].ok
 
 
-def test_commit_outcome_at_pledged_site_is_violation():
+def test_commit_outcome_at_pledged_site_is_adopted():
+    """A lone pledge keeps this site out of the commit quorum; it cannot
+    veto a commit that formed from the other sites.  Quorum intersection
+    rules out a decided abort coexisting, so the outcome is adopted."""
     host = subordinate()
     host.local_prepared(Vote.YES)
     host.complete_force()
     host.deliver(NbAbortJoin(tid=TID1, sender="c"))
     host.complete_force()
-    with pytest.raises(NbProtocolViolation):
-        host.deliver(NbOutcome(tid=TID1, sender="x",
-                               outcome=Outcome.COMMITTED))
+    host.deliver(NbOutcome(tid=TID1, sender="x",
+                           outcome=Outcome.COMMITTED))
+    assert host.machine.outcome is Outcome.COMMITTED
+    assert host.machine.state is NbSubState.DONE
+    assert host.local_commits == [TID1]
 
 
 # -------------------------------------------------- subordinate timeout
@@ -444,3 +449,16 @@ def test_coordinator_accepts_takeover_abort_post_replication():
     host.deliver(NbOutcome(tid=TID1, sender="b", outcome=Outcome.ABORTED))
     assert host.completions == [Outcome.ABORTED]
     assert host.local_aborts == [TID1]
+
+
+def test_already_pledged_coordinator_aborts_before_preparing():
+    """A coordinator whose site granted a stateless abort pledge earlier
+    (e.g. to a takeover for a transaction it then recovered) must treat
+    its own YES as NO: the pledge bars this site from the commit quorum,
+    and commitment starting here could put it in both."""
+    host = coordinator(already_pledged=True)
+    host.local_prepared(Vote.YES)
+    assert host.machine.local_vote is Vote.NO
+    assert host.local_aborts == [TID1]
+    assert "prepare" not in host.forced_kinds()
+    assert not any(isinstance(m, NbPrepare) for _, m in host.sent)
