@@ -19,7 +19,9 @@ from repro import CamelotSystem, SystemConfig
 from repro.bench.figures import figure2_cells
 from repro.bench.parallel import run_cells
 from repro.bench.workloads import serial_minimal_txns
+from repro.obs.spans import SpanRecorder
 from repro.sim.kernel import Kernel
+from repro.sim.tracing import NullTracer, Tracer
 
 from benchmarks.conftest import emit
 
@@ -123,6 +125,60 @@ def test_transaction_host_cost(benchmark):
     # Order-of-magnitude guard: a distributed transaction should cost
     # well under 50 ms of host time (typically ~2 ms).
     assert per_txn_ms < 50.0
+
+
+def _txn_workload_seconds(tracer, recorder=None, n: int = 120) -> float:
+    """Host seconds for ``n`` serial distributed transactions."""
+    system = CamelotSystem(SystemConfig(sites={"a": 1, "b": 1},
+                                        keep_trace_events=False),
+                           tracer=tracer)
+    if recorder is not None:
+        system.tracer.attach_obs(recorder)
+    app = system.application("a")
+    start = time.perf_counter()
+    committed = system.run_process(
+        serial_minimal_txns(app, system.default_services(), n),
+        timeout_ms=600_000.0)
+    elapsed = time.perf_counter() - start
+    assert committed == n
+    return elapsed
+
+
+def test_tracing_overhead_floor():
+    """Count-only span instrumentation must stay within 5% of untraced.
+
+    The span hooks in the substrates are guarded by a single attribute
+    test (``tracer.obs is not None``); with a count-only SpanRecorder
+    attached the layer degrades to counter-stub calls (the recorder
+    rebinds its recording surface in ``__init__``).  Both legs run a
+    NullTracer so the ratio bounds exactly the span layer, not the
+    tracer's own pre-existing counting.
+
+    Shared-container noise swamps single runs (the same workload
+    drifts +-30% between batches), so each measurement block
+    interleaves baseline/counted pairs and compares the minima —
+    alternating makes both legs sample the same load epochs.  Noise
+    only ever *inflates* a leg, so a block that lands under the
+    ceiling is sound evidence the true ratio is under it; a block over
+    the ceiling may just mean the counted leg never hit a quiet
+    window, hence up to three blocks, keeping the best.
+    """
+    ratio = float("inf")
+    for _block in range(3):
+        baselines, counteds = [], []
+        for _ in range(10):
+            baselines.append(_txn_workload_seconds(NullTracer()))
+            counteds.append(_txn_workload_seconds(
+                NullTracer(), recorder=SpanRecorder(keep=False)))
+        ratio = min(ratio, min(counteds) / min(baselines))
+        if ratio <= 1.05:
+            break
+    _results["tracing_overhead_ratio"] = round(ratio, 3)
+    emit(f"tracing overhead: count-only span layer {ratio:.3f}x over "
+         f"untraced (ceiling 1.05x)")
+    assert ratio <= 1.05, (
+        f"count-only span instrumentation costs {ratio:.3f}x over an "
+        f"untraced run; the layer must stay within 5% when spans are off")
 
 
 def test_figure_regeneration_speedup():

@@ -5,42 +5,29 @@ transaction; this module regenerates that view for *any* traced run —
 one column per site, one row per interesting event, datagram arrows
 between columns.  Used by ``examples/trace_timeline.py`` and handy when
 debugging protocol changes.
+
+Input is either a :class:`~repro.sim.tracing.Tracer` (event rows) or a
+:class:`~repro.obs.spans.SpanRecorder` (span rows); the kind
+vocabulary — which kinds get a row, which render as arrows, and their
+descriptions — lives in :mod:`repro.obs.kinds`, shared with the span
+instrumentation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
+if TYPE_CHECKING:
+    from repro.obs.spans import SpanRecorder
+
+from repro.obs.kinds import (
+    ARROW_KINDS,
+    SPAN_ARROW_KINDS,
+    TIMELINE_DESCRIPTIONS,
+    describe_span,
+)
 from repro.sim.tracing import Tracer
-
-# Trace kinds worth a timeline row, and how to describe them.
-_DESCRIPTIONS = {
-    "tranman.begin": lambda e: f"begin {e.detail.get('tid', '')}",
-    "tranman.join": lambda e: f"join {e.detail.get('server', '')}",
-    "tranman.commit_call": lambda e: "commit-transaction "
-        f"({e.detail.get('protocol', '')}, {e.detail.get('subs', 0)} subs)",
-    "tranman.local_prepared": lambda e: f"local vote: {e.detail.get('vote')}",
-    "diskman.force": lambda e: "log force",
-    "log.group_commit": lambda e: f"group commit x{e.detail.get('batch')}",
-    "tranman.complete": lambda e: f"COMPLETE: {e.detail.get('outcome')}",
-    "server.abort": lambda e: "undo + release locks",
-    "nb.commit_point": lambda e: "COMMIT POINT (quorum formed)",
-    "nb.takeover": lambda e: "timeout -> becoming coordinator",
-    "nb.takeover_decided": lambda e: f"takeover decided: "
-        f"{e.detail.get('outcome')}",
-    "2pc.blocked_inquiry": lambda e: "blocked: inquiring",
-    "2pc.heuristic_resolve": lambda e: "HEURISTIC "
-        f"{e.detail.get('outcome')}",
-    "2pc.heuristic_damage": lambda e: "!! heuristic damage",
-    "fail.crash": lambda e: "**CRASH**",
-    "fail.restart": lambda e: "**RESTART**",
-    "recovery.plan": lambda e: f"recovery: {e.detail.get('in_doubt')} "
-        "in doubt",
-    "tranman.orphan_abort": lambda e: "orphan abort",
-}
-
-_ARROW_KINDS = ("tranman.datagram", "tranman.multicast")
 
 
 @dataclass
@@ -51,10 +38,8 @@ class TimelineRow:
     arrow_to: Optional[str] = None
 
 
-def extract_rows(tracer: Tracer, t0: float = 0.0,
-                 t1: Optional[float] = None,
-                 tid: Optional[str] = None) -> List[TimelineRow]:
-    """Pull timeline-worthy rows out of a tracer's event list."""
+def _rows_from_tracer(tracer: Tracer, t0: float, t1: Optional[float],
+                      tid: Optional[str]) -> List[TimelineRow]:
     rows: List[TimelineRow] = []
     for event in tracer.events:
         if event.time < t0 or (t1 is not None and event.time > t1):
@@ -63,22 +48,55 @@ def extract_rows(tracer: Tracer, t0: float = 0.0,
             event_tid = event.detail.get("tid")
             if event_tid is not None and event_tid != tid:
                 continue
-        if event.kind in _ARROW_KINDS:
+        if event.kind in ARROW_KINDS:
             kind_of = event.detail.get("kind_of", "datagram")
             dst = event.detail.get("dst")
             rows.append(TimelineRow(event.time, event.site,
                                     f"--{kind_of}-->", arrow_to=dst))
-        elif event.kind in _DESCRIPTIONS:
+        elif event.kind in TIMELINE_DESCRIPTIONS:
             rows.append(TimelineRow(event.time, event.site,
-                                    _DESCRIPTIONS[event.kind](event)))
+                                    TIMELINE_DESCRIPTIONS[event.kind](event)))
     return rows
 
 
-def render_timeline(tracer: Tracer, sites: Sequence[str],
+def _rows_from_recorder(recorder, t0: float, t1: Optional[float],
+                        tid: Optional[str]) -> List[TimelineRow]:
+    rows: List[TimelineRow] = []
+    for span in recorder.all_spans():
+        if span.t0 < t0 or (t1 is not None and span.t0 > t1):
+            continue
+        if tid is not None and span.tid is not None and span.tid != tid:
+            continue
+        if span.kind in SPAN_ARROW_KINDS:
+            kind_of = span.detail.get("msg_kind", "datagram")
+            rows.append(TimelineRow(span.t0, span.site,
+                                    f"--{kind_of}-->",
+                                    arrow_to=span.detail.get("dst")))
+            continue
+        text = describe_span(span.kind, span.detail)
+        if text is not None and (span.kind in TIMELINE_DESCRIPTIONS
+                                 or span.duration > 0
+                                 or not span.closed):
+            rows.append(TimelineRow(span.t0, span.site, text))
+    rows.sort(key=lambda r: r.time)
+    return rows
+
+
+def extract_rows(source: Union[Tracer, "SpanRecorder"], t0: float = 0.0,
+                 t1: Optional[float] = None,
+                 tid: Optional[str] = None) -> List[TimelineRow]:
+    """Pull timeline-worthy rows out of a tracer or a span recorder."""
+    if hasattr(source, "events"):
+        return _rows_from_tracer(source, t0, t1, tid)
+    return _rows_from_recorder(source, t0, t1, tid)
+
+
+def render_timeline(source: Union[Tracer, "SpanRecorder"],
+                    sites: Sequence[str],
                     t0: float = 0.0, t1: Optional[float] = None,
                     tid: Optional[str] = None, width: int = 26) -> str:
     """One column per site, chronological rows, arrows labelled."""
-    rows = extract_rows(tracer, t0=t0, t1=t1, tid=tid)
+    rows = extract_rows(source, t0=t0, t1=t1, tid=tid)
     col_of: Dict[str, int] = {site: i for i, site in enumerate(sites)}
     header = "t (ms)".rjust(9) + "  " + "".join(
         site.ljust(width) for site in sites)

@@ -217,7 +217,18 @@ class TransactionManager:
     # --------------------------------------------------------- dispatch
 
     def _handle(self, msg: Message) -> Generator[Any, Any, None]:
-        yield from self.site.consume_cpu(self.cost.tranman_service_cpu)
+        obs = self.tracer.obs
+        if obs is not None and obs.keep:
+            obs.gauge(self.kernel.now, f"cpu.queue_depth.{self.site.name}",
+                      self.site.cpu.queue_depth)
+            sid = obs.begin_cpu(self.kernel.now, "tranman", self.site.name,
+                                msg)
+            yield from self.site.consume_cpu(self.cost.tranman_service_cpu)
+            obs.end(sid, self.kernel.now)
+        else:
+            if obs is not None:
+                obs.count_cpu()
+            yield from self.site.consume_cpu(self.cost.tranman_service_cpu)
         kind = msg.kind
         if kind == "_datagram":
             yield from self._on_datagram(msg.body["payload"])
@@ -592,7 +603,15 @@ class TransactionManager:
         # Durable pledge: force it, then acknowledge.
         record = self.diskman.append(
             abort_pledge_record(str(tid), self.site.name))
-        yield from self.diskman.force(record.lsn)
+        obs = self.tracer.obs
+        if obs is not None:
+            sid = obs.begin(self.kernel.now, "log.force",
+                            site=self.site.name, tid=str(tid),
+                            record_kind="abort_pledge")
+            yield from self.diskman.force(record.lsn)
+            obs.end(sid, self.kernel.now)
+        else:
+            yield from self.diskman.force(record.lsn)
         self.pledges.add(str(tid))
         self.tracer.record(self.kernel.now, "nb.stateless_pledge",
                            site=self.site.name, tid=str(tid))
@@ -659,7 +678,16 @@ class TransactionManager:
             elif isinstance(effect, ForceLog):
                 record = self.diskman.append(effect.record)
                 self._note_membership(effect.record)
-                yield from self.diskman.force(record.lsn)
+                obs = self.tracer.obs
+                if obs is not None:
+                    sid = obs.begin(self.kernel.now, "log.force",
+                                    site=self.site.name,
+                                    tid=effect.record.tid or None,
+                                    record_kind=effect.record.kind.value)
+                    yield from self.diskman.force(record.lsn)
+                    obs.end(sid, self.kernel.now)
+                else:
+                    yield from self.diskman.force(record.lsn)
                 yield from self._continue(machine, "on_log_forced",
                                           effect.token)
             elif isinstance(effect, WriteLog):
@@ -816,6 +844,11 @@ class TransactionManager:
         self.tracer.record(self.kernel.now, "tranman.complete",
                            site=self.site.name, tid=str(tid),
                            outcome=effect.outcome.value)
+        obs = self.tracer.obs
+        if obs is not None:
+            obs.instant(self.kernel.now, "tranman.complete",
+                        site=self.site.name, tid=tid,
+                        outcome=effect.outcome.value)
         if call is not None:
             self.fabric.reply(call, call.reply(
                 "commit_ok" if effect.outcome is Outcome.COMMITTED

@@ -32,8 +32,11 @@ from repro.lint.registry import all_rules
 # apply here.  bench/ and analysis/ run outside the sim clock and may
 # legitimately read wall time (they time the harness itself).  chaos/
 # qualifies because its schedules, oracles, and shrinker must be
-# byte-deterministic for repros to replay.
-SIM_SCOPED_DIRS = ("sim", "core", "net", "mach", "log", "servers", "chaos")
+# byte-deterministic for repros to replay.  obs/ runs inside the sim
+# (the recorder is fed from instrumented substrates), so the same
+# determinism rules apply there.
+SIM_SCOPED_DIRS = ("sim", "core", "net", "mach", "log", "servers", "chaos",
+                   "obs")
 SIM_SCOPED_FILES = ("system.py", "config.py")
 
 

@@ -518,3 +518,101 @@ def check_chaos_oracle_readonly(ctx: LintContext) -> List[Finding]:
                 flag(n, f"calls mutator .{n.func.attr}() on "
                         f"simulation state")
     return out
+
+
+# ------------------------------------------------ rule: obs readonly
+
+
+# Parameter names / annotations through which simulation objects reach
+# obs code.  A SpanRecorder's own state is fair game; anything arriving
+# through one of these is not.
+_OBS_SIM_PARAM_NAMES = {
+    "system", "kernel", "tracer", "site", "lan", "runtime", "tranman",
+    "diskman", "fabric", "server", "dgram", "comman",
+}
+_OBS_SIM_TYPE_NAMES = {
+    "CamelotSystem", "Kernel", "Tracer", "Site", "Lan", "SiteRuntime",
+    "TransactionManager", "DiskManager", "IpcFabric", "DataServer",
+    "DatagramService", "CommunicationManager",
+}
+# Calls that steer the simulation rather than read it.
+_OBS_STEERING_METHODS = {
+    "post", "post_soon", "schedule", "spawn", "run", "run_for",
+    "run_until_idle", "run_process", "step", "send", "reply", "call",
+    "unicast", "multicast", "crash", "restart", "crash_site",
+    "restart_site", "trigger", "enqueue", "record", "attach_obs",
+    "partition", "heal", "force", "register_site",
+}
+
+
+@rule("obs-readonly",
+      "Code under src/repro/obs/ must not mutate or steer sim/protocol "
+      "state: spans and metrics observe, never steer.  (__main__.py, "
+      "the scenario driver, is exempt — it builds and runs the system.)")
+def check_obs_readonly(ctx: LintContext) -> List[Finding]:
+    out: List[Finding] = []
+    for info in ctx.files:
+        if not info.sub.startswith("obs/") or info.sub == "obs/__main__.py":
+            continue
+        if info.tree is None:
+            continue
+        for func in ast.walk(info.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            tainted: Set[str] = set()
+            for a in (*func.args.args, *func.args.posonlyargs,
+                      *func.args.kwonlyargs):
+                ann = _dotted(a.annotation) if a.annotation is not None \
+                    else None
+                if a.arg in _OBS_SIM_PARAM_NAMES \
+                        or (ann or "").split(".")[-1] in _OBS_SIM_TYPE_NAMES:
+                    tainted.add(a.arg)
+            if not tainted:
+                continue
+            # Propagate through simple local bindings and loop targets,
+            # exactly as chaos-oracle-readonly does.
+            for n in ast.walk(func):
+                if isinstance(n, ast.Assign) \
+                        and _root_name(n.value) in tainted:
+                    for t in n.targets:
+                        if isinstance(t, ast.Name):
+                            tainted.add(t.id)
+                elif isinstance(n, (ast.For, ast.comprehension)) \
+                        and _root_name(n.iter) in tainted:
+                    t = n.target
+                    if isinstance(t, ast.Name):
+                        tainted.add(t.id)
+                    elif isinstance(t, ast.Tuple):
+                        tainted.update(e.id for e in t.elts
+                                       if isinstance(e, ast.Name))
+
+            def flag(node: ast.AST, what: str) -> None:
+                out.append(ctx.finding(
+                    info, node, "obs-readonly",
+                    f"obs function {func.name!r} {what}; the "
+                    f"observability layer must never mutate or steer "
+                    f"the simulation"))
+
+            for n in ast.walk(func):
+                if isinstance(n, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = n.targets if isinstance(n, ast.Assign) \
+                        else [n.target]
+                    for t in targets:
+                        if isinstance(t, (ast.Attribute, ast.Subscript)) \
+                                and _root_name(t) in tainted:
+                            flag(n, "assigns into simulation state")
+                elif isinstance(n, ast.Delete):
+                    for t in n.targets:
+                        if isinstance(t, (ast.Attribute, ast.Subscript)) \
+                                and _root_name(t) in tainted:
+                            flag(n, "deletes simulation state")
+                elif isinstance(n, ast.Call) \
+                        and isinstance(n.func, ast.Attribute) \
+                        and _root_name(n.func.value) in tainted:
+                    if n.func.attr in _MUTATOR_METHODS:
+                        flag(n, f"calls mutator .{n.func.attr}() on "
+                                f"simulation state")
+                    elif n.func.attr in _OBS_STEERING_METHODS:
+                        flag(n, f"calls steering method .{n.func.attr}() "
+                                f"on simulation state")
+    return out

@@ -108,7 +108,14 @@ class GroupCommitBatcher:
         self.tracer.record(self.kernel.now, "log.group_commit",
                            site=self.wal.site, batch=rnd.size,
                            lsn=rnd.target_lsn)
-        yield from self.wal.force(rnd.target_lsn)
+        obs = self.tracer.obs
+        if obs is not None:
+            sid = obs.begin(self.kernel.now, "log.group_commit",
+                            site=self.wal.site, batch=rnd.size)
+            yield from self.wal.force(rnd.target_lsn)
+            obs.end(sid, self.kernel.now)
+        else:
+            yield from self.wal.force(rnd.target_lsn)
         rnd.done.trigger(None)
 
     # ------------------------------------------------------- statistics

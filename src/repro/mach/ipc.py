@@ -87,8 +87,12 @@ class IpcFabric:
         elif msg.sender is None:
             msg.sender = port.site
         latency = self.latency_for(flavour, msg)
-        self.tracer.record(self.kernel.now, f"ipc.{flavour}", site=port.site,
+        now = self.kernel.now
+        self.tracer.record(now, f"ipc.{flavour}", site=port.site,
                            kind_of=msg.kind)
+        obs = self.tracer.obs
+        if obs is not None:
+            obs.ipc(now, now + latency, flavour, port.site, msg)
         self.kernel.post(latency, self._deliver, port, msg)
 
     def _deliver(self, port: Port, msg: Message) -> None:
@@ -142,8 +146,12 @@ class IpcFabric:
             raise ValueError(f"message {request!r} has no reply handle")
         flavour = flavour or request.body.get("_reply_flavour", "inline")
         latency = self.latency_for(flavour, response)
-        self.tracer.record(self.kernel.now, f"ipc.{flavour}",
+        now = self.kernel.now
+        self.tracer.record(now, f"ipc.{flavour}",
                            site=handle.site, kind_of=response.kind)
+        obs = self.tracer.obs
+        if obs is not None:
+            obs.ipc(now, now + latency, flavour, handle.site, response)
         self.kernel.post(latency, self._trigger_reply, handle, response)
 
     def _trigger_reply(self, handle: ReplyHandle, response: Message) -> None:

@@ -61,6 +61,11 @@ class CpuScheduler:
         finally:
             self._slots.up()
 
+    @property
+    def queue_depth(self) -> int:
+        """Threads currently queued for a CPU slot (run-queue length)."""
+        return len(self._slots._waiters)
+
     def utilization(self, elapsed_ms: float) -> float:
         """Fraction of total CPU capacity used over ``elapsed_ms``."""
         if elapsed_ms <= 0:

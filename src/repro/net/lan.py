@@ -183,6 +183,13 @@ class Lan:
             self.tracer.record(self.kernel.now, "net.lost", site=src, dst=dst)
             return
         self.in_flight += 1
+        obs = self.tracer.obs
+        if obs is not None:
+            now = self.kernel.now
+            obs.net(now, now + send_delay + transit,
+                    src, dst, payload, rpc=latency_override is not None)
+            if obs.keep:
+                obs.gauge(now, "lan.in_flight", self.in_flight)
         self.kernel.post(send_delay + transit, self._arrive, src, dst,
                          payload, deliver)
 
@@ -209,11 +216,25 @@ class Lan:
                 self.tracer.record(self.kernel.now, "net.lost", site=src, dst=dst)
                 continue
             self.in_flight += 1
-            self.kernel.post(send_delay + transit, self._arrive, src, dst,
-                             payload_for(dst), deliver_for(dst))
+            obs = self.tracer.obs
+            if obs is not None:
+                payload = payload_for(dst)
+                now = self.kernel.now
+                obs.net(now, now + send_delay + transit,
+                        src, dst, payload, multicast=True)
+                if obs.keep:
+                    obs.gauge(now, "lan.in_flight", self.in_flight)
+                self.kernel.post(send_delay + transit, self._arrive, src,
+                                 dst, payload, deliver_for(dst))
+            else:
+                self.kernel.post(send_delay + transit, self._arrive, src,
+                                 dst, payload_for(dst), deliver_for(dst))
 
     def _arrive(self, src: str, dst: str, payload: Any, deliver: DeliverFn) -> None:
         self.in_flight -= 1
+        obs = self.tracer.obs
+        if obs is not None and obs.keep:
+            obs.gauge(self.kernel.now, "lan.in_flight", self.in_flight)
         if not self.reachable(src, dst):
             self.dropped_partition += 1
             self.tracer.record(self.kernel.now, "net.drop.partition",

@@ -1,0 +1,182 @@
+"""CLI: run a scenario under span instrumentation and attribute latency.
+
+::
+
+    python -m repro.obs                      # stock 1-subordinate update
+    python -m repro.obs local-update --trials 10
+    python -m repro.obs figure4              # logger-bottleneck validation
+    python -m repro.obs update-1sub --trace trace.json   # Perfetto export
+    python -m repro.obs update-1sub --keep counts        # count-only mode
+
+Exit status: 0 when every self-check passes, 1 when a check fails,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import static_analysis as sa
+from repro.config import SystemConfig
+from repro.core.outcomes import Outcome, ProtocolKind
+from repro.obs.attribution import (
+    attribute_run,
+    compare_static,
+    render_report,
+    report_ok,
+)
+from repro.obs.export import write_trace
+from repro.obs.spans import SpanRecorder
+from repro.obs.utilization import snapshot
+from repro.system import CamelotSystem
+
+DRAIN_MS = 300.0
+
+SCENARIOS = {
+    "update-1sub": dict(
+        title="2PC update, 1 subordinate (stock scenario)",
+        sites={"a": 1, "b": 1}, op="write",
+        protocol=ProtocolKind.TWO_PHASE,
+        static=lambda cost: sa.twophase_update_completion(1, cost),
+        tolerance=0.10),
+    "local-update": dict(
+        title="local update (no subordinates)",
+        sites={"a": 1}, op="write",
+        protocol=ProtocolKind.TWO_PHASE,
+        static=lambda cost: sa.local_update_completion(cost),
+        tolerance=0.10),
+    "local-read": dict(
+        title="local read (read-only optimization)",
+        sites={"a": 1}, op="read",
+        protocol=ProtocolKind.TWO_PHASE,
+        static=lambda cost: sa.local_read_completion(cost),
+        # Short path: the commit-reply IPC the static formula omits
+        # weighs proportionally more.
+        tolerance=0.15),
+    "nb-update-1sub": dict(
+        title="non-blocking update, 1 subordinate",
+        sites={"a": 1, "b": 1}, op="write",
+        protocol=ProtocolKind.NON_BLOCKING,
+        static=lambda cost: sa.nonblocking_update_completion(1, cost),
+        tolerance=0.15),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="span-based latency attribution for simulated runs")
+    parser.add_argument("scenario", nargs="?", default="update-1sub",
+                        choices=sorted(SCENARIOS) + ["figure4"],
+                        help="workload to run (default: update-1sub)")
+    parser.add_argument("--trials", type=int, default=5,
+                        help="measured transactions (default 5)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write Chrome trace-event JSON here")
+    parser.add_argument("--keep", choices=["spans", "counts"],
+                        default="spans",
+                        help="'counts' disables span retention "
+                             "(the low-overhead mode)")
+    return parser
+
+
+def _run_latency_scenario(name: str, args) -> int:
+    spec = SCENARIOS[name]
+    config = SystemConfig(sites=dict(spec["sites"]), seed=args.seed)
+    system = CamelotSystem(config)
+    recorder = SpanRecorder(keep=args.keep == "spans")
+    system.tracer.attach_obs(recorder)
+    app = system.application(sorted(spec["sites"])[0])
+    services = system.default_services()
+
+    def workload():
+        for _ in range(args.trials + 1):  # +1 warmup
+            yield from app.minimal_transaction(
+                services, op=spec["op"], protocol=spec["protocol"])
+
+    system.run_process(workload())
+    system.run_for(DRAIN_MS)
+
+    if args.keep == "counts":
+        print(f"repro.obs count-only run — {spec['title']}")
+        for kind in sorted(recorder.counters):
+            print(f"  {kind:20s} {recorder.counters[kind]}")
+        print(f"  spans balanced: {'ok' if recorder.balanced else 'FAIL'}")
+        return 0 if recorder.balanced else 1
+
+    measured = [r for r in app.history[1:]
+                if r.outcome is Outcome.COMMITTED]
+    summary = attribute_run(recorder, [str(r.tid) for r in measured])
+    static_path = spec["static"](system.cost)
+    comparison = compare_static(summary, static_path)
+    utilization = snapshot(system, recorder)
+    print(render_report(summary, spec["title"], comparison=comparison,
+                        static_label=static_path.label,
+                        tolerance=spec["tolerance"],
+                        utilization=utilization,
+                        balanced=recorder.balanced))
+    if args.trace:
+        n = write_trace(recorder, args.trace)
+        print(f"\nwrote {n} trace events to {args.trace}")
+    return 0 if report_ok(summary, comparison, spec["tolerance"],
+                          recorder.balanced) else 1
+
+
+def _run_figure4(args) -> int:
+    """Figure-4-style saturation run: local updates, group commit off.
+
+    The check is the paper's bottleneck claim — with an unbatched log,
+    update throughput saturates on the logger disk, and utilization
+    accounting must name it.
+    """
+    config = SystemConfig(sites={"a": 1}, seed=args.seed,
+                          group_commit=False, keep_trace_events=False)
+    system = CamelotSystem(config)
+    recorder = SpanRecorder(keep=args.keep == "spans")
+    system.tracer.attach_obs(recorder)
+    services = system.default_services()
+    clients = 8
+    duration = 4_000.0
+
+    def client(app, obj):
+        while system.kernel.now < duration:
+            try:
+                yield from app.minimal_transaction(services, op="write",
+                                                   obj=obj)
+            except Exception:
+                pass
+
+    for i in range(clients):
+        # Disjoint objects: the saturation question is about the logger,
+        # not lock contention.
+        system.spawn(client(system.application("a", name=f"app{i}"),
+                            f"x{i}"),
+                     f"fig4.client{i}")
+    system.run_for(duration + DRAIN_MS)
+
+    utilization = snapshot(system, recorder, elapsed_ms=duration)
+    print(f"repro.obs figure4 — {clients} clients, group commit off, "
+          f"{duration:.0f} ms")
+    for resource in utilization.resources:
+        print(f"  {resource.name:14s} "
+              f"{100.0 * resource.utilization:6.1f}%")
+    bottleneck = utilization.bottleneck()
+    print(f"  bottleneck: {bottleneck.name} "
+          f"({100.0 * bottleneck.utilization:.1f}%)")
+    ok = bottleneck.name.endswith("logdisk")
+    print(f"  logger saturated: {'ok' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.scenario == "figure4":
+        return _run_figure4(args)
+    return _run_latency_scenario(args.scenario, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

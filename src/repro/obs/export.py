@@ -1,0 +1,96 @@
+"""Chrome trace-event export (Perfetto / chrome://tracing loadable).
+
+Maps the span model onto the trace-event JSON format:
+
+- each simulated *site* becomes a process (``pid``), each span kind's
+  primitive class a thread (``tid``) within it, so Perfetto's track
+  layout groups a site's IPC, log, and CPU activity into parallel rows;
+- closed spans become complete ("X") events with microsecond ``ts`` and
+  ``dur`` (simulated ms are exported as µs·1000, so 1 sim-ms reads as
+  1 ms in the viewer);
+- instants become "i" events; gauge samples become counter ("C") events.
+
+The format reference is the Trace Event Format document; only the
+fields Perfetto needs are emitted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.kinds import classify
+
+_SCALE = 1_000.0  # simulated ms -> exported µs
+
+
+def _pid_for(site: str, pids: Dict[str, int]) -> int:
+    if site not in pids:
+        pids[site] = len(pids) + 1
+    return pids[site]
+
+
+def to_trace_events(recorder) -> Dict[str, Any]:
+    """The recorder's contents as a trace-event JSON object."""
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+
+    def tid_for(pid: int, cls: str) -> int:
+        key = (pid, cls)
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == pid]) + 1
+            events.append({"ph": "M", "pid": pid, "tid": tids[key],
+                           "name": "thread_name", "args": {"name": cls}})
+        return tids[key]
+
+    for span in recorder.spans:
+        if not span.closed:
+            continue
+        site = span.site or "?"
+        pid = _pid_for(site, pids)
+        events.append({
+            "ph": "X", "name": span.kind,
+            "cat": classify(span.kind),
+            "pid": pid, "tid": tid_for(pid, classify(span.kind)),
+            "ts": span.t0 * _SCALE,
+            "dur": (span.t1 - span.t0) * _SCALE,
+            "args": {"tid": span.tid, **{k: _jsonable(v) for k, v
+                                         in span.detail.items()}},
+        })
+    for span in recorder.instants:
+        site = span.site or "?"
+        pid = _pid_for(site, pids)
+        events.append({
+            "ph": "i", "s": "p", "name": span.kind,
+            "cat": classify(span.kind),
+            "pid": pid, "tid": tid_for(pid, classify(span.kind)),
+            "ts": span.t0 * _SCALE,
+            "args": {"tid": span.tid, **{k: _jsonable(v) for k, v
+                                         in span.detail.items()}},
+        })
+    for name, samples in recorder.gauges.items():
+        for time, value in samples:
+            events.append({
+                "ph": "C", "name": name, "pid": 0, "ts": time * _SCALE,
+                "args": {"value": value},
+            })
+    for site, pid in sorted(pids.items()):
+        events.append({"ph": "M", "pid": pid, "name": "process_name",
+                       "args": {"name": f"site {site}"}})
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_trace(recorder, path: str) -> int:
+    """Write the Chrome trace JSON; returns the event count."""
+    doc = to_trace_events(recorder)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

@@ -1,0 +1,406 @@
+"""Span recording: timed intervals with transaction and site identity.
+
+A span is one timed occurrence of a primitive — an IPC delivery, a
+datagram transit, a log force, a lock wait — tagged with the site it
+charges and, when known, the transaction it serves.  Substrates emit
+spans through the recorder attached to their :class:`~repro.sim.tracing.
+Tracer` (``tracer.obs``); when no recorder is attached the hook is a
+single attribute test, so instrumentation costs nothing in ordinary
+runs.
+
+Three recording shapes cover every call site:
+
+- :meth:`SpanRecorder.add` for intervals whose duration is known at
+  emission time (IPC latency, LAN arrival time are computed before the
+  delivery is posted);
+- :meth:`SpanRecorder.begin` / :meth:`SpanRecorder.end` bracketing
+  generator-based work (a log force through the batcher);
+- :meth:`SpanRecorder.instant` for point events (locks dropped).
+
+``keep=False`` turns the recorder into a counter: per-kind span counts
+stay exact, no Span objects are retained — the CLI's count-only mode,
+whose overhead the benchmark gate bounds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.kinds import SPAN_ARROW_KINDS
+
+
+def tid_of(obj: Any) -> Optional[str]:
+    """Best-effort transaction id of a message-shaped object.
+
+    Handles protocol messages (``.tid``), Mach messages (``body``/
+    ``trans`` dicts) and datagrams (``.payload.tid``) without importing
+    any of their classes.
+    """
+    tid = getattr(obj, "tid", None)
+    if tid is not None:
+        return str(tid)
+    payload = getattr(obj, "payload", None)
+    if payload is not None:
+        tid = getattr(payload, "tid", None)
+        if tid is not None:
+            return str(tid)
+    body = getattr(obj, "body", None)
+    if isinstance(body, dict):
+        tid = body.get("tid")
+        if tid is not None:
+            return str(tid)
+        inner = body.get("payload")
+        if inner is not None:
+            tid = getattr(inner, "tid", None)
+            if tid is not None:
+                return str(tid)
+    trans = getattr(obj, "trans", None)
+    if isinstance(trans, dict):
+        tid = trans.get("tid")
+        if tid is not None:
+            return str(tid)
+    return None
+
+
+class Span:
+    """One recorded interval (``t1 is None`` while still open)."""
+
+    __slots__ = ("sid", "kind", "site", "t0", "t1", "tid", "detail")
+
+    def __init__(self, sid: int, kind: str, site: Optional[str],
+                 t0: float, t1: Optional[float], tid: Optional[str],
+                 detail: Dict[str, Any]):
+        self.sid = sid
+        self.kind = kind
+        self.site = site
+        self.t0 = t0
+        self.t1 = t1
+        self.tid = tid
+        self.detail = detail
+
+    @property
+    def duration(self) -> float:
+        return 0.0 if self.t1 is None else self.t1 - self.t0
+
+    @property
+    def closed(self) -> bool:
+        return self.t1 is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = f"{self.t1:.2f}" if self.t1 is not None else "…"
+        return (f"<Span #{self.sid} {self.kind} {self.site} "
+                f"[{self.t0:.2f},{end}] tid={self.tid}>")
+
+
+class SpanRecorder:
+    """Collects spans, instants, and time-stamped gauge samples."""
+
+    def __init__(self, keep: bool = True):
+        self.keep = keep
+        self.spans: List[Span] = []
+        self.instants: List[Span] = []
+        self.counters: Dict[str, int] = defaultdict(int)
+        # gauge name -> [(time, value)], nondecreasing time
+        self.gauges: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+        self._open: Dict[int, Span] = {}
+        self._next_sid = 0
+        self.begun = 0
+        self.ended = 0
+        if not keep:
+            # Count-only fast path: rebind the recording surface to
+            # counter-increment stubs (the Tracer rebinding idiom), so
+            # the hot hooks skip tid extraction, detail construction,
+            # and Span allocation entirely.
+            self.add = self._add_count_only          # type: ignore
+            self.begin = self._begin_count_only      # type: ignore
+            self.end = self._end_count_only          # type: ignore
+            self.instant = self._instant_count_only  # type: ignore
+            self.gauge = self._gauge_count_only      # type: ignore
+            self.ipc = self._ipc_count_only          # type: ignore
+            self.net = self._net_count_only          # type: ignore
+            self.begin_cpu = self._begin_cpu_count_only  # type: ignore
+
+    # ------------------------------------------------------ generic API
+
+    def add(self, t0: float, t1: float, kind: str,
+            site: Optional[str] = None, tid: Optional[Any] = None,
+            **detail: Any) -> Optional[int]:
+        """A span whose end time is already known.
+
+        ``tid`` may be any object with a sensible ``str()`` (a TID, a
+        message tid field); conversion happens here so hot call sites
+        never pay for it in count-only mode.
+        """
+        self.counters[kind] += 1
+        if not self.keep:
+            return None
+        if tid is not None and type(tid) is not str:
+            tid = str(tid)
+        sid = self._next_sid = self._next_sid + 1
+        self.spans.append(Span(sid, kind, site, t0, t1, tid, detail))
+        return sid
+
+    def begin(self, time: float, kind: str, site: Optional[str] = None,
+              tid: Optional[Any] = None, **detail: Any) -> Optional[int]:
+        self.counters[kind] += 1
+        self.begun += 1
+        if not self.keep:
+            return None
+        if tid is not None and type(tid) is not str:
+            tid = str(tid)
+        sid = self._next_sid = self._next_sid + 1
+        span = Span(sid, kind, site, time, None, tid, detail)
+        self.spans.append(span)
+        self._open[sid] = span
+        return sid
+
+    def end(self, sid: Optional[int], time: float) -> None:
+        self.ended += 1
+        if sid is None or not self.keep:
+            return
+        span = self._open.pop(sid, None)
+        if span is not None:
+            span.t1 = time
+
+    def instant(self, time: float, kind: str, site: Optional[str] = None,
+                tid: Optional[Any] = None, **detail: Any) -> None:
+        self.counters[kind] += 1
+        if self.keep:
+            if tid is not None and type(tid) is not str:
+                tid = str(tid)
+            sid = self._next_sid = self._next_sid + 1
+            self.instants.append(Span(sid, kind, site, time, time, tid,
+                                      detail))
+
+    def gauge(self, time: float, name: str, value: float) -> None:
+        if self.keep:
+            self.gauges[name].append((time, value))
+
+    # ------------------------------------------ domain-specific helpers
+    #
+    # One-line hooks for the substrates, so the guarded call sites stay
+    # small and tid extraction lives here, not in sim code.
+
+    def ipc(self, t0: float, t1: float, flavour: str, site: Optional[str],
+            msg: Any) -> None:
+        self.add(t0, t1, f"ipc.{flavour}", site=site, tid=tid_of(msg),
+                 msg_kind=getattr(msg, "kind", None))
+
+    def net(self, t0: float, t1: float, src: str, dst: str, payload: Any,
+            rpc: bool = False, multicast: bool = False) -> None:
+        if rpc:
+            kind = "rpc.netmsg"
+        elif multicast:
+            kind = "net.multicast"
+        else:
+            kind = "net.datagram"
+        name = type(payload).__name__
+        inner = getattr(payload, "payload", None)
+        if inner is not None:
+            name = type(inner).__name__
+        self.add(t0, t1, kind, site=src, tid=tid_of(payload), dst=dst,
+                 msg_kind=name)
+
+    def begin_cpu(self, time: float, component: str, site: Optional[str],
+                  msg: Any = None) -> Optional[int]:
+        return self.begin(time, "cpu.service", site=site,
+                          tid=tid_of(msg) if msg is not None else None,
+                          component=component,
+                          msg_kind=getattr(msg, "kind", None))
+
+    def count_cpu(self) -> None:
+        """Count-only stand-in for a ``begin_cpu``/``end`` bracket.
+
+        The per-message dispatch paths are the hottest hook sites; when
+        the recorder is not keeping spans they take this single zero-arg
+        call instead of the two-call bracket.
+        """
+        self.counters["cpu.service"] += 1
+
+    # -------------------------------------------- count-only fast path
+    #
+    # Bound over the public surface when ``keep=False``: per-kind counts
+    # and begin/end balance stay exact, everything else is skipped.  The
+    # benchmark gate (``test_tracing_overhead_floor``) bounds what this
+    # mode may cost over an untraced run.
+
+    def _add_count_only(self, t0: float, t1: float, kind: str,
+                        site: Optional[str] = None,
+                        tid: Optional[str] = None,
+                        **detail: Any) -> Optional[int]:
+        self.counters[kind] += 1
+        return None
+
+    def _begin_count_only(self, time: float, kind: str,
+                          site: Optional[str] = None,
+                          tid: Optional[str] = None,
+                          **detail: Any) -> Optional[int]:
+        self.counters[kind] += 1
+        self.begun += 1
+        return None
+
+    def _end_count_only(self, sid: Optional[int], time: float) -> None:
+        self.ended += 1
+
+    def _instant_count_only(self, time: float, kind: str,
+                            site: Optional[str] = None,
+                            tid: Optional[str] = None,
+                            **detail: Any) -> None:
+        self.counters[kind] += 1
+
+    def _gauge_count_only(self, time: float, name: str,
+                          value: float) -> None:
+        pass
+
+    _IPC_KINDS = {"inline": "ipc.inline", "oneway": "ipc.oneway",
+                  "outofline": "ipc.outofline", "immediate": "ipc.immediate"}
+
+    def _ipc_count_only(self, t0: float, t1: float, flavour: str,
+                        site: Optional[str], msg: Any) -> None:
+        # Dict lookup instead of "ipc." + flavour: the interned constants
+        # carry cached hashes, the concat result never does.
+        kinds = self._IPC_KINDS
+        self.counters[kinds[flavour] if flavour in kinds
+                      else "ipc." + flavour] += 1
+
+    def _net_count_only(self, t0: float, t1: float, src: str, dst: str,
+                        payload: Any, rpc: bool = False,
+                        multicast: bool = False) -> None:
+        if rpc:
+            kind = "rpc.netmsg"
+        elif multicast:
+            kind = "net.multicast"
+        else:
+            kind = "net.datagram"
+        self.counters[kind] += 1
+
+    def _begin_cpu_count_only(self, time: float, component: str,
+                              site: Optional[str],
+                              msg: Any = None) -> Optional[int]:
+        self.counters["cpu.service"] += 1
+        self.begun += 1
+        return None
+
+    # ----------------------------------------------------- consistency
+
+    @property
+    def balanced(self) -> bool:
+        """Every begun span was ended (no dangling begin/end pairs)."""
+        return self.begun == self.ended and not self._open
+
+    def open_spans(self) -> List[Span]:
+        return list(self._open.values())
+
+    def count(self, kind: str) -> int:
+        return self.counters.get(kind, 0)
+
+    # --------------------------------------------------------- queries
+
+    def all_spans(self) -> List[Span]:
+        return self.spans + self.instants
+
+    def for_tid(self, tid: str) -> List[Span]:
+        return [s for s in self.all_spans() if s.tid == tid]
+
+    def of_kind(self, kind: str) -> List[Span]:
+        return [s for s in self.all_spans() if s.kind == kind]
+
+    def tids(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            if s.tid is not None:
+                seen.setdefault(s.tid)
+        return list(seen)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.instants.clear()
+        self.counters.clear()
+        self.gauges.clear()
+        self._open.clear()
+        self.begun = self.ended = 0
+
+
+# --------------------------------------------------------------- trees
+
+
+class SpanNode:
+    """One span plus the spans nested inside it (same site)."""
+
+    __slots__ = ("span", "children")
+
+    def __init__(self, span: Span):
+        self.span = span
+        self.children: List["SpanNode"] = []
+
+    def walk(self) -> Iterable["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class SpanTree:
+    """A transaction's spans, nested per site, with cross-site edges.
+
+    Nesting is by interval containment among closed spans on one site —
+    the discrete-event substrate interleaves coroutines, so begin/end
+    stacking cannot be assumed; containment is what the timestamps
+    guarantee.  ``edges`` stitches the causal cross-site links: each
+    network span points at the first span on the destination site that
+    starts at or after its arrival.
+    """
+
+    def __init__(self, tid: str, roots: Dict[str, List[SpanNode]],
+                 edges: List[Tuple[Span, Span]]):
+        self.tid = tid
+        self.roots = roots
+        self.edges = edges
+
+    def nodes(self) -> Iterable[SpanNode]:
+        for site_roots in self.roots.values():
+            for root in site_roots:
+                yield from root.walk()
+
+
+def assemble_tree(spans: List[Span], tid: str) -> SpanTree:
+    """Nest one transaction's spans per site and stitch cross-site edges."""
+    mine = [s for s in spans if s.tid == tid and s.closed]
+    by_site: Dict[str, List[Span]] = defaultdict(list)
+    for span in mine:
+        by_site[span.site or "?"].append(span)
+
+    roots: Dict[str, List[SpanNode]] = {}
+    for site, site_spans in sorted(by_site.items()):
+        # Longest intervals first at equal start: parents precede their
+        # children, so a stack scan nests them.
+        site_spans.sort(key=lambda s: (s.t0, -(s.t1 - s.t0), s.sid))
+        site_roots: List[SpanNode] = []
+        stack: List[SpanNode] = []
+        for span in site_spans:
+            node = SpanNode(span)
+            while stack and stack[-1].span.t1 < span.t1:
+                stack.pop()
+            if stack and stack[-1].span.t0 <= span.t0 \
+                    and span.t1 <= stack[-1].span.t1:
+                stack[-1].children.append(node)
+            else:
+                stack.clear()
+                site_roots.append(node)
+            stack.append(node)
+        roots[site] = site_roots
+
+    edges: List[Tuple[Span, Span]] = []
+    for span in mine:
+        if span.kind not in SPAN_ARROW_KINDS:
+            continue
+        dst = span.detail.get("dst")
+        if dst is None or dst not in by_site:
+            continue
+        successor = min(
+            (s for s in by_site[dst] if s.t0 >= span.t1
+             and s.kind not in SPAN_ARROW_KINDS),
+            key=lambda s: (s.t0, s.sid), default=None)
+        if successor is not None:
+            edges.append((span, successor))
+    return SpanTree(tid, roots, edges)

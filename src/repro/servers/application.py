@@ -133,6 +133,16 @@ class Application:
         if record is not None:
             record.committed_at = self.kernel.now
             record.outcome = outcome
+            obs = self.tracer.obs
+            if obs is not None:
+                # Whole-transaction and commit-phase envelopes, recorded
+                # post-hoc from the client-side timestamps.
+                obs.add(record.began_at, record.committed_at, "txn",
+                        site=self.site.name, tid=str(tid),
+                        outcome=outcome.value)
+                if record.commit_called_at is not None:
+                    obs.add(record.commit_called_at, record.committed_at,
+                            "txn.commit", site=self.site.name, tid=str(tid))
         if reply.kind == "commit_failed":
             raise TransactionAborted(tid, reply.body.get("reason", ""))
         return outcome

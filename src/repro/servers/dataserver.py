@@ -87,7 +87,16 @@ class DataServer:
     # --------------------------------------------------------- dispatch
 
     def _handle(self, msg: Message) -> Generator[Any, Any, None]:
-        yield from self.site.consume_cpu(self.cost.server_service_cpu)
+        obs = self.tracer.obs
+        if obs is not None and obs.keep:
+            sid = obs.begin_cpu(self.kernel.now, "server", self.site.name,
+                                msg)
+            yield from self.site.consume_cpu(self.cost.server_service_cpu)
+            obs.end(sid, self.kernel.now)
+        else:
+            if obs is not None:
+                obs.count_cpu()
+            yield from self.site.consume_cpu(self.cost.server_service_cpu)
         kind = msg.kind
         if kind == "operation":
             yield from self._op(msg)
@@ -171,6 +180,11 @@ class DataServer:
     def _lock(self, obj: str, tid: TID,
               mode: LockMode) -> Generator[Any, Any, bool]:
         """Acquire a lock; False on lock-wait timeout (victim)."""
+        obs = self.tracer.obs
+        if obs is not None:
+            now = self.kernel.now
+            obs.add(now, now + self.cost.get_lock,
+                    "lock.get", site=self.site.name, tid=tid, object=obj)
         yield Sleep(self.cost.get_lock)
         granted = SimEvent(self.kernel, name=f"{self.name}.lock.{obj}",
                            ignore_retrigger=True)
@@ -179,6 +193,10 @@ class DataServer:
             return True
         self.tracer.record(self.kernel.now, "server.lock_wait",
                            site=self.site.name, object=obj, tid=str(tid))
+        wait_sid = None
+        if obs is not None:
+            wait_sid = obs.begin(self.kernel.now, "lock.wait",
+                                 site=self.site.name, tid=tid, object=obj)
         from repro.sim.events import any_of, timeout_event
 
         # Stagger the timeout deterministically per waiter, so two
@@ -193,6 +211,8 @@ class DataServer:
             [granted, timeout_event(self.kernel,
                                     self.cost.lock_wait_timeout * stagger)],
             name=f"{self.name}.lockwait"))
+        if obs is not None:
+            obs.end(wait_sid, self.kernel.now)
         index, __ = winner
         if index == 0:
             return True
@@ -229,6 +249,10 @@ class DataServer:
         tid = TID.parse(msg.body["tid"])
         self.locks.release_family(tid.family)
         self._forget_family(tid.family, keep_values=True)
+        obs = self.tracer.obs
+        if obs is not None:
+            obs.instant(self.kernel.now, "server.drop_locks",
+                        site=self.site.name, tid=tid, server=self.name)
         if msg.reply_to is not None:
             self.fabric.reply(msg, msg.reply("drop_locks_ok"))
 

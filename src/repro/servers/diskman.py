@@ -96,7 +96,15 @@ class DiskManager:
         """Synchronous force through the (possibly enabled) batcher."""
         self.forces_requested += 1
         self.tracer.record(self.kernel.now, "diskman.force", site=self.site.name)
-        yield from self.site.consume_cpu(self.cost.logger_service_cpu)
+        obs = self.tracer.obs
+        if obs is not None and obs.keep:
+            sid = obs.begin_cpu(self.kernel.now, "logger", self.site.name)
+            yield from self.site.consume_cpu(self.cost.logger_service_cpu)
+            obs.end(sid, self.kernel.now)
+        else:
+            if obs is not None:
+                obs.count_cpu()
+            yield from self.site.consume_cpu(self.cost.logger_service_cpu)
         yield from self.batcher.force(lsn)
 
     def append_and_force(self, record: LogRecord) -> Generator[Any, Any, LogRecord]:

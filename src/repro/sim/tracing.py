@@ -8,6 +8,7 @@ events to a :class:`Tracer`; experiments read counters and the raw trace.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
@@ -38,6 +39,11 @@ class Tracer:
         self.keep_events = keep_events
         self.events: List[TraceEvent] = []
         self.counters: Dict[str, int] = defaultdict(int)
+        # Optional span-recorder sink (see repro.obs.spans).  Substrates
+        # guard every span hook with ``tracer.obs is not None`` so the
+        # disabled case costs one attribute load; the tracer itself never
+        # imports or calls into repro.obs.
+        self.obs: Optional[Any] = None
         if not keep_events:
             # Per-event fast path for long runs: rebinding the method on
             # the instance skips the keep_events branch and the
@@ -63,11 +69,22 @@ class Tracer:
         """Sum of counters whose kind starts with ``prefix``."""
         return sum(v for k, v in self.counters.items() if k.startswith(prefix))
 
+    def attach_obs(self, recorder: Optional[Any]) -> None:
+        """Install (or, with None, remove) a span-recorder sink."""
+        self.obs = recorder
+
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
 
     def between(self, t0: float, t1: float) -> List[TraceEvent]:
-        return [e for e in self.events if t0 <= e.time <= t1]
+        """Events with ``t0 <= time <= t1`` (bounds inclusive).
+
+        Events are appended in nondecreasing time order (the kernel's
+        clock never runs backwards), so both endpoints bisect.
+        """
+        lo = bisect_left(self.events, t0, key=lambda e: e.time)
+        hi = bisect_right(self.events, t1, lo=lo, key=lambda e: e.time)
+        return self.events[lo:hi]
 
     def snapshot(self) -> Dict[str, int]:
         """Copy of the counters; subtract two snapshots to scope a window."""

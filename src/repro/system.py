@@ -55,12 +55,16 @@ class CamelotSystem:
     """A complete multi-site Camelot deployment in one event kernel."""
 
     def __init__(self, config: Optional[SystemConfig] = None,
-                 initial_objects: Optional[Dict[str, Any]] = None):
+                 initial_objects: Optional[Dict[str, Any]] = None,
+                 tracer: Optional[Tracer] = None):
         self.config = config or SystemConfig()
         self.cost: CostModel = self.config.cost
         self.kernel = Kernel()
         self.rng = RngStreams(self.config.seed)
-        self.tracer = Tracer(keep_events=self.config.keep_trace_events)
+        # An injected tracer (e.g. NullTracer for overhead baselines)
+        # replaces the config-driven default.
+        self.tracer = tracer if tracer is not None \
+            else Tracer(keep_events=self.config.keep_trace_events)
         self.stores = StableStoreDirectory()
         self.directory = NameDirectory()
         self.lan = Lan(self.kernel, self.cost, self.rng, self.tracer)

@@ -100,13 +100,18 @@ def fixture_tree(tmp_path: Path) -> Path:
             ctx.system.tracer.events.clear()   # chaos-oracle-readonly
             return []
         """)
+    _write(tmp_path, "obs/sampler.py", """
+        def sample_queue_depth(recorder, system):
+            system.run_for(1.0)                # obs-readonly
+            return recorder
+        """)
     return tmp_path
 
 
 ALL_RULES = {
     "wallclock", "unseeded-random", "no-environ", "unordered-iteration",
     "consumed-fire-and-forget", "message-handlers", "lazy-log-force",
-    "costmodel-attrs", "chaos-oracle-readonly",
+    "costmodel-attrs", "chaos-oracle-readonly", "obs-readonly",
 }
 
 
@@ -295,3 +300,41 @@ def test_oracle_mutations_flagged_reads_clean(tmp_path):
     assert len(flagged) == 5
     assert not [f for f in report.findings if "check_clean" in f.message]
     assert not [f for f in report.findings if "helper" in f.message]
+
+
+def test_obs_readonly_mutations_flagged_reads_clean(tmp_path):
+    """obs-readonly: obs code may read sim objects reached through any
+    parameter but never write to them or steer the run."""
+    _write(tmp_path, "obs/collect.py", """
+        def dirty(system, tracer):
+            tracer.record(0.0, "fake")            # steering call
+            system.lan.loss_probability = 0.5     # attribute assign
+            system.tracer.counters["x"] += 1      # aug-assign via alias
+            tm = system.tranman("a")
+            tm.machines.pop("T1")                 # mutator via alias
+            del system.sites["a"]                 # delete
+            return []
+
+
+        def clean(system, recorder):
+            depth = len(system.tranman("a").machines)
+            recorder.gauge(system.kernel.now, "depth", depth)
+            rows = [s for s in recorder.all_spans() if s.closed]
+            counts = dict(system.tracer.counters)
+            counts["extra"] = 1                   # copy, not sim state
+            return rows
+        """)
+    report = run_lint(root=tmp_path, rule_ids=["obs-readonly"])
+    assert len([f for f in report.findings if "'dirty'" in f.message]) == 5
+    assert not [f for f in report.findings if "'clean'" in f.message]
+
+
+def test_obs_readonly_exempts_scenario_driver(tmp_path):
+    """obs/__main__.py builds and drives the system by design."""
+    _write(tmp_path, "obs/__main__.py", """
+        def main(system):
+            system.run_for(100.0)
+            return 0
+        """)
+    report = run_lint(root=tmp_path, rule_ids=["obs-readonly"])
+    assert report.findings == []

@@ -1,0 +1,61 @@
+"""python -m repro.obs: exit codes, report output, trace export."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import build_parser, main
+
+
+def test_stock_scenario_passes_and_prints_table(capsys):
+    assert main(["update-1sub", "--trials", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "critical-path breakdown" in out
+    assert "static prediction" in out
+    assert "self-checks:" in out and "FAIL" not in out
+    assert "bottleneck:" in out
+
+
+def test_default_scenario_is_stock_update(capsys):
+    args = build_parser().parse_args([])
+    assert args.scenario == "update-1sub"
+    assert args.keep == "spans"
+
+
+def test_local_scenarios_pass(capsys):
+    assert main(["local-update", "--trials", "3"]) == 0
+    assert main(["local-read", "--trials", "3"]) == 0
+
+
+def test_count_only_mode(capsys):
+    assert main(["update-1sub", "--trials", "3", "--keep", "counts"]) == 0
+    out = capsys.readouterr().out
+    assert "count-only" in out
+    assert "log.force" in out
+    assert "spans balanced: ok" in out
+    # Count mode prints no attribution table.
+    assert "critical-path breakdown" not in out
+
+
+def test_trace_export(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main(["update-1sub", "--trials", "2",
+                 "--trace", str(trace)]) == 0
+    doc = json.loads(trace.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert {"X", "M"} <= phases
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_figure4_names_logger_bottleneck(capsys):
+    assert main(["figure4"]) == 0
+    out = capsys.readouterr().out
+    assert "bottleneck: a.logdisk" in out
+    assert "logger saturated: ok" in out
+
+
+def test_unknown_scenario_is_usage_error():
+    with pytest.raises(SystemExit) as err:
+        main(["no-such-scenario"])
+    assert err.value.code == 2

@@ -1,0 +1,227 @@
+"""repro.obs.spans: recorder API, tid extraction, trees, count-only mode."""
+
+import pytest
+
+from repro.obs.spans import Span, SpanRecorder, assemble_tree, tid_of
+
+
+class _Obj:
+    def __init__(self, **kw):
+        for k, v in kw.items():
+            setattr(self, k, v)
+
+
+# ------------------------------------------------------------------ tid_of
+
+
+def test_tid_of_direct_attribute():
+    assert tid_of(_Obj(tid="T1@a")) == "T1@a"
+
+
+def test_tid_of_payload_attribute():
+    assert tid_of(_Obj(payload=_Obj(tid="T2@a"))) == "T2@a"
+
+
+def test_tid_of_body_dict():
+    assert tid_of(_Obj(body={"tid": "T3@a"})) == "T3@a"
+
+
+def test_tid_of_body_payload():
+    assert tid_of(_Obj(body={"payload": _Obj(tid="T4@a")})) == "T4@a"
+
+
+def test_tid_of_trans_dict():
+    assert tid_of(_Obj(trans={"tid": "T5@a"})) == "T5@a"
+
+
+def test_tid_of_stringifies_non_strings():
+    class FakeTid:
+        def __str__(self):
+            return "T6@a"
+
+    assert tid_of(_Obj(tid=FakeTid())) == "T6@a"
+
+
+def test_tid_of_none_when_absent():
+    assert tid_of(_Obj(body={"x": 1})) is None
+    assert tid_of(object()) is None
+
+
+# ---------------------------------------------------------------- recorder
+
+
+def test_add_records_closed_span():
+    rec = SpanRecorder()
+    sid = rec.add(1.0, 2.5, "log.force", site="a", tid="T1@a", lsn=7)
+    assert sid is not None
+    (span,) = rec.spans
+    assert span.kind == "log.force"
+    assert span.duration == pytest.approx(1.5)
+    assert span.closed
+    assert span.detail == {"lsn": 7}
+    assert rec.count("log.force") == 1
+
+
+def test_begin_end_bracket_and_balance():
+    rec = SpanRecorder()
+    sid = rec.begin(1.0, "cpu.service", site="a")
+    assert not rec.balanced
+    assert rec.open_spans()[0].sid == sid
+    rec.end(sid, 3.0)
+    assert rec.balanced
+    assert rec.spans[0].duration == pytest.approx(2.0)
+
+
+def test_tid_coerced_to_str_in_keep_mode():
+    class FakeTid:
+        def __str__(self):
+            return "T9@a"
+
+    rec = SpanRecorder()
+    rec.add(0.0, 1.0, "lock.get", site="a", tid=FakeTid())
+    sid = rec.begin(1.0, "lock.wait", site="a", tid=FakeTid())
+    rec.end(sid, 2.0)
+    rec.instant(2.0, "server.drop_locks", site="a", tid=FakeTid())
+    assert all(s.tid == "T9@a" for s in rec.all_spans())
+    assert len(rec.for_tid("T9@a")) == 3
+
+
+def test_instant_has_zero_duration():
+    rec = SpanRecorder()
+    rec.instant(5.0, "tranman.complete", site="a", tid="T1@a")
+    (span,) = rec.instants
+    assert span.t0 == span.t1 == 5.0
+
+
+def test_gauge_samples_kept_in_order():
+    rec = SpanRecorder()
+    rec.gauge(1.0, "lan.in_flight", 1)
+    rec.gauge(2.0, "lan.in_flight", 0)
+    assert rec.gauges["lan.in_flight"] == [(1.0, 1), (2.0, 0)]
+
+
+def test_domain_hooks_classify_kinds():
+    rec = SpanRecorder()
+    rec.ipc(0.0, 1.5, "inline", "a", _Obj(tid="T1@a", kind="operation"))
+    rec.net(2.0, 12.0, "a", "b", _Obj(tid="T1@a"))
+    rec.net(2.0, 12.0, "a", "b", _Obj(tid="T1@a"), rpc=True)
+    rec.net(2.0, 12.0, "a", "b", _Obj(tid="T1@a"), multicast=True)
+    sid = rec.begin_cpu(13.0, "tranman", "a", _Obj(tid="T1@a", kind="x"))
+    rec.end(sid, 13.8)
+    kinds = sorted(s.kind for s in rec.spans)
+    assert kinds == ["cpu.service", "ipc.inline", "net.datagram",
+                     "net.multicast", "rpc.netmsg"]
+    assert all(s.tid == "T1@a" for s in rec.spans)
+
+
+def test_net_unwraps_datagram_payload_name():
+    class PrepareRequest:
+        tid = "T1@a"
+
+    rec = SpanRecorder()
+    rec.net(0.0, 10.0, "a", "b", _Obj(payload=PrepareRequest()))
+    assert rec.spans[0].detail["msg_kind"] == "PrepareRequest"
+    assert rec.spans[0].detail["dst"] == "b"
+
+
+def test_queries_and_clear():
+    rec = SpanRecorder()
+    rec.add(0.0, 1.0, "lock.get", site="a", tid="T1@a")
+    rec.add(1.0, 2.0, "lock.get", site="a", tid="T2@a")
+    rec.instant(2.0, "tranman.complete", site="a", tid="T1@a")
+    assert rec.tids() == ["T1@a", "T2@a"]
+    assert len(rec.for_tid("T1@a")) == 2
+    assert len(rec.of_kind("lock.get")) == 2
+    rec.clear()
+    assert rec.all_spans() == [] and rec.counters == {}
+
+
+# -------------------------------------------------------------- count-only
+
+
+def test_count_only_retains_nothing_but_counts_exactly():
+    rec = SpanRecorder(keep=False)
+    rec.ipc(0.0, 1.5, "inline", "a", _Obj(tid="T1@a", kind="op"))
+    rec.ipc(0.0, 1.5, "oneway", "a", _Obj())
+    rec.net(0.0, 10.0, "a", "b", _Obj())
+    rec.net(0.0, 10.0, "a", "b", _Obj(), rpc=True)
+    rec.add(0.0, 1.0, "lock.get", site="a", tid="T1@a")
+    sid = rec.begin(0.0, "log.force", site="a")
+    rec.end(sid, 15.0)
+    rec.instant(1.0, "tranman.complete")
+    rec.count_cpu()
+    rec.gauge(1.0, "lan.in_flight", 1)
+    assert rec.spans == [] and rec.instants == []
+    assert not rec.gauges
+    assert rec.counters == {"ipc.inline": 1, "ipc.oneway": 1,
+                            "net.datagram": 1, "rpc.netmsg": 1,
+                            "lock.get": 1, "log.force": 1,
+                            "tranman.complete": 1, "cpu.service": 1}
+    assert rec.balanced
+
+
+def test_count_only_tracks_begin_end_pairing():
+    rec = SpanRecorder(keep=False)
+    rec.begin(0.0, "log.force")
+    assert not rec.balanced
+    rec.end(None, 1.0)
+    assert rec.balanced
+
+
+def test_count_only_unknown_ipc_flavour_still_counted():
+    rec = SpanRecorder(keep=False)
+    rec.ipc(0.0, 1.0, "weird", "a", _Obj())
+    assert rec.count("ipc.weird") == 1
+
+
+# ------------------------------------------------------------------- trees
+
+
+def _span(sid, kind, site, t0, t1, tid="T1@a", **detail):
+    return Span(sid, kind, site, t0, t1, tid, detail)
+
+
+def test_assemble_tree_nests_by_containment():
+    spans = [
+        _span(1, "cpu.service", "a", 0.0, 10.0),
+        _span(2, "log.force", "a", 2.0, 8.0),
+        _span(3, "lock.get", "a", 3.0, 4.0),
+        _span(4, "cpu.service", "a", 12.0, 14.0),
+    ]
+    tree = assemble_tree(spans, "T1@a")
+    roots = tree.roots["a"]
+    assert [r.span.sid for r in roots] == [1, 4]
+    assert [c.span.sid for c in roots[0].children] == [2]
+    assert [c.span.sid for c in roots[0].children[0].children] == [3]
+    assert len(list(tree.nodes())) == 4
+
+
+def test_assemble_tree_separates_sites():
+    spans = [
+        _span(1, "cpu.service", "a", 0.0, 10.0),
+        _span(2, "cpu.service", "b", 1.0, 5.0),
+    ]
+    tree = assemble_tree(spans, "T1@a")
+    assert set(tree.roots) == {"a", "b"}
+    assert all(len(r) == 1 for r in tree.roots.values())
+
+
+def test_assemble_tree_cross_site_edges():
+    spans = [
+        _span(1, "net.datagram", "a", 0.0, 10.0, dst="b"),
+        _span(2, "cpu.service", "b", 11.0, 12.0),
+        _span(3, "cpu.service", "b", 15.0, 16.0),
+    ]
+    tree = assemble_tree(spans, "T1@a")
+    ((src, dst),) = tree.edges
+    assert src.sid == 1 and dst.sid == 2  # first span after arrival
+
+
+def test_assemble_tree_ignores_other_tids_and_open_spans():
+    spans = [
+        _span(1, "cpu.service", "a", 0.0, 1.0),
+        _span(2, "cpu.service", "a", 0.0, 2.0, tid="T2@a"),
+        _span(3, "cpu.service", "a", 0.0, None),
+    ]
+    tree = assemble_tree(spans, "T1@a")
+    assert [n.span.sid for n in tree.nodes()] == [1]

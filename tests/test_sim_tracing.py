@@ -71,3 +71,36 @@ def test_clear():
     t.clear()
     assert t.count("a") == 0
     assert t.events == []
+
+
+def test_between_bisect_matches_linear_scan_on_long_trace():
+    """Regression for the bisect rewrite: same answers as the linear
+    filter on a long trace with heavy timestamp duplication."""
+    t = Tracer()
+    for i in range(10_000):
+        t.record(float(i // 4), "tick", seq=i)  # 4 events per instant
+    for t0, t1 in [(0.0, 0.0), (10.0, 20.0), (17.3, 17.9),
+                   (2_499.0, 2_499.0), (2_498.5, 9_999.0),
+                   (-5.0, 3.0), (3_000.0, 2_000.0)]:
+        expected = [e for e in t.events if t0 <= e.time <= t1]
+        assert t.between(t0, t1) == expected
+
+
+def test_between_bounds_inclusive():
+    t = Tracer()
+    t.record(1.0, "a")
+    t.record(2.0, "b")
+    t.record(3.0, "c")
+    assert [e.kind for e in t.between(1.0, 3.0)] == ["a", "b", "c"]
+    assert [e.kind for e in t.between(2.0, 2.0)] == ["b"]
+    assert t.between(4.0, 9.0) == []
+
+
+def test_attach_obs_installs_and_removes_sink():
+    t = Tracer()
+    assert t.obs is None
+    sink = object()
+    t.attach_obs(sink)
+    assert t.obs is sink
+    t.attach_obs(None)
+    assert t.obs is None
