@@ -12,12 +12,17 @@ wall time, parallel speedup).
 """
 
 import json
+import os
+import re
+import subprocess
+import sys
 import time
 from pathlib import Path
 
 from repro import CamelotSystem, SystemConfig
-from repro.bench.figures import figure2_cells
-from repro.bench.parallel import run_cells
+from repro.bench.figures import figure2_cells, figure4_cells
+from repro.bench.parallel import run_cells, warm_pool
+from repro.bench.report import render_speedups
 from repro.bench.workloads import serial_minimal_txns
 from repro.obs.spans import SpanRecorder
 from repro.sim.kernel import Kernel
@@ -33,6 +38,27 @@ from benchmarks.conftest import emit
 # creeping back into the heap) still fails loudly.
 KERNEL_EVENTS_PER_SEC_FLOOR = 500_000.0
 
+# Floor for the self-rescheduling schedule() spin specifically.  The
+# timer wheel lifted it from the seed's ~1.09M ev/s to ~1.5M ev/s on the
+# reference container; a revert to the pure-heap path lands back at the
+# seed mark and fails this, while the margin absorbs CI runner noise.
+KERNEL_SCHEDULE_EVENTS_PER_SEC_FLOOR = 1_250_000.0
+
+# The figure-suite pool must beat serial regeneration by this much on
+# any multi-core host.  Single-core hosts cannot see a speedup from
+# process fan-out, so there the ratio is recorded but not gated.
+PARALLEL_SPEEDUP_FLOOR = 1.5
+
+# Open-loop guard rails: measured throughput must track offered load
+# (the run is well under saturation), and the whole CLI process —
+# interpreter, import, 10k-transaction run, streaming obs — must stay
+# within a ceiling that an O(txns) memory regression would blow through.
+OPENLOOP_SITES = 24
+OPENLOOP_RATE_TPS = 300.0
+OPENLOOP_TXNS = 10_000
+OPENLOOP_TPS_FLOOR_FRACTION = 0.8
+OPENLOOP_PEAK_RSS_MB_CEILING = 96.0
+
 # Same-host seed baselines (reference container, commit 4ce7758),
 # recorded so BENCH_harness.json can report speedups across PRs.
 SEED_SCHEDULE_EVENTS_PER_SEC = 1_090_000.0
@@ -42,8 +68,13 @@ _RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_harness.json"
 _results: dict = {}
 
 
-def _spin_rate(use_post: bool, n: int = 50_000) -> float:
-    """Events/sec for a self-rescheduling ticker (the classic heap spin)."""
+def _spin_rate(use_post: bool, n: int = 25_000) -> float:
+    """Events/sec for a self-rescheduling ticker (the classic heap spin).
+
+    25k events is ~20 ms of host time: short enough that a trial can
+    land wholly inside a quiet window on a noisy shared host, so the
+    best-of-N aggregate measures the kernel, not the neighbours.
+    """
     kernel = Kernel()
     count = 0
 
@@ -88,20 +119,29 @@ def test_kernel_event_throughput(benchmark):
 
 
 def test_kernel_dispatch_rate_floor():
-    """Hot-path guard: dispatch below the floor fails the suite."""
-    schedule_rate = max(_spin_rate(use_post=False) for _ in range(3))
-    post_rate = max(_spin_rate(use_post=True) for _ in range(3))
+    """Hot-path guard: dispatch below the floors fails the suite.
+
+    Best-of-twelve per spin: the spin is a pure hot-loop microbenchmark,
+    so its true rate is the *fastest* observation — slower samples
+    measure scheduler preemption and shared-host noise, not the kernel.
+    """
+    schedule_rate = max(_spin_rate(use_post=False) for _ in range(12))
+    post_rate = max(_spin_rate(use_post=True) for _ in range(12))
     _results["kernel_schedule_events_per_sec"] = round(schedule_rate)
     _results["kernel_post_events_per_sec"] = round(post_rate)
     _results["kernel_speedup_vs_seed"] = round(
         post_rate / SEED_SCHEDULE_EVENTS_PER_SEC, 2)
-    emit(f"kernel dispatch: schedule {schedule_rate:,.0f} ev/s, "
+    emit(f"kernel dispatch: schedule {schedule_rate:,.0f} ev/s "
+         f"(floor {KERNEL_SCHEDULE_EVENTS_PER_SEC_FLOOR:,.0f}), "
          f"post {post_rate:,.0f} ev/s "
          f"(floor {KERNEL_EVENTS_PER_SEC_FLOOR:,.0f})")
     assert post_rate >= KERNEL_EVENTS_PER_SEC_FLOOR, (
         f"kernel dispatch regressed: {post_rate:,.0f} ev/s is below the "
         f"{KERNEL_EVENTS_PER_SEC_FLOOR:,.0f} ev/s floor")
-    assert schedule_rate >= KERNEL_EVENTS_PER_SEC_FLOOR * 0.8
+    assert schedule_rate >= KERNEL_SCHEDULE_EVENTS_PER_SEC_FLOOR, (
+        f"kernel schedule() spin regressed: {schedule_rate:,.0f} ev/s is "
+        f"below the {KERNEL_SCHEDULE_EVENTS_PER_SEC_FLOOR:,.0f} ev/s "
+        f"floor (timer wheel reverted to heap dispatch?)")
 
 
 def test_transaction_host_cost(benchmark):
@@ -182,29 +222,95 @@ def test_tracing_overhead_floor():
 
 
 def test_figure_regeneration_speedup():
-    """Wall time of a reduced Figure 2 sweep, serial vs fanned.
+    """Per-figure wall time of reduced sweeps, serial vs warm pool.
 
-    On a single-core container the pool adds overhead instead of
-    speedup, so only equality of results is asserted; the measured
-    ratio is recorded in BENCH_harness.json either way (the ≥3x target
-    is a 4-core figure).
+    The pool is warmed (workers spawned, ``repro.system`` imported, cost
+    profiles built) *before* the timed region: the measurement gates the
+    steady-state figure-regeneration speedup, not worker startup, which
+    a full-suite run pays once.  On any multi-core host the aggregate
+    speedup must clear :data:`PARALLEL_SPEEDUP_FLOOR`; a single-core
+    container cannot see fan-out gains, so there the ratio is recorded
+    in BENCH_harness.json but not gated.  Result equality is asserted
+    everywhere — parallel regeneration must be indistinguishable from
+    serial.
     """
-    cells = [c for _, _, c in figure2_cells(trials=6)]
+    figures = {
+        "figure2": [c for _, _, c in figure2_cells(trials=6)],
+        "figure4": [c for _, c in figure4_cells(pairs_range=(1, 2),
+                                                duration_ms=2_000.0)],
+    }
+    jobs = 4
+    warm_pool(jobs)
 
-    start = time.perf_counter()
-    serial = run_cells(cells, jobs=1)
-    serial_s = time.perf_counter() - start
+    timings = {}
+    for name, cells in figures.items():
+        start = time.perf_counter()
+        serial = run_cells(cells, jobs=1)
+        serial_s = time.perf_counter() - start
 
-    start = time.perf_counter()
-    fanned = run_cells(cells, jobs=4)
-    fanned_s = time.perf_counter() - start
+        start = time.perf_counter()
+        fanned = run_cells(cells, jobs=jobs)
+        fanned_s = time.perf_counter() - start
 
-    assert [o.value for o in serial] == [o.value for o in fanned]
-    _results["figure2_serial_wall_s"] = round(serial_s, 3)
-    _results["figure2_jobs4_wall_s"] = round(fanned_s, 3)
-    _results["parallel_speedup"] = round(serial_s / fanned_s, 2)
-    emit(f"figure2 sweep: serial {serial_s:.2f}s, jobs=4 {fanned_s:.2f}s "
-         f"({serial_s / fanned_s:.2f}x)")
+        assert [o.value for o in serial] == [o.value for o in fanned], (
+            f"{name}: parallel regeneration diverged from serial")
+        timings[name] = (serial_s, fanned_s)
+
+    emit(render_speedups(timings))
+    serial_total = sum(s for s, _ in timings.values())
+    fanned_total = sum(f for _, f in timings.values())
+    speedup = serial_total / fanned_total
+    _results["figure2_serial_wall_s"] = round(timings["figure2"][0], 3)
+    _results["figure2_jobs4_wall_s"] = round(timings["figure2"][1], 3)
+    _results["parallel_speedup"] = round(speedup, 2)
+    _results["parallel_speedup_cpus"] = os.cpu_count() or 1
+    if (os.cpu_count() or 1) >= 2:
+        assert speedup >= PARALLEL_SPEEDUP_FLOOR, (
+            f"warm pool regenerates the figure suite only {speedup:.2f}x "
+            f"faster than serial on {os.cpu_count()} CPUs; the floor is "
+            f"{PARALLEL_SPEEDUP_FLOOR}x")
+
+
+def test_open_loop_throughput_and_memory():
+    """Open-loop guard: throughput tracks offered load, memory stays flat.
+
+    Runs the ``repro.bench`` CLI in a fresh interpreter so peak RSS is
+    the open-loop run's own footprint — not this pytest process with
+    every prior benchmark's allocations folded into ``ru_maxrss``.  The
+    run is 10k transactions; the streaming-obs design keeps its RSS
+    identical to a 1M-transaction run (everything per-transaction is
+    dropped at completion), so the ceiling guards the whole bounded-
+    memory discipline, and an O(txns) regression (retained spans,
+    unpruned tombstones, WAL without checkpoints) shows up here long
+    before anyone reruns the million-transaction demo.
+    """
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "--open-loop",
+         "--sites", str(OPENLOOP_SITES),
+         "--rate", str(OPENLOOP_RATE_TPS),
+         "--txns", str(OPENLOOP_TXNS)],
+        capture_output=True, text=True, timeout=1200,
+        env={**os.environ,
+             "PYTHONPATH": str(Path(__file__).resolve().parent.parent
+                               / "src")})
+    assert proc.returncode == 0, (
+        f"open-loop run left transactions unfinished:\n{proc.stdout}"
+        f"\n{proc.stderr}")
+    tps = float(re.search(r"measured tps\s+([\d.]+)", proc.stdout).group(1))
+    rss = float(re.search(r"peak RSS: ([\d.]+) MiB", proc.stdout).group(1))
+    _results["openloop_tps"] = tps
+    _results["peak_rss_mb"] = rss
+    emit(f"open loop: {OPENLOOP_TXNS:,} txns at {OPENLOOP_RATE_TPS:.0f} tps "
+         f"offered -> {tps:.1f} tps measured, peak RSS {rss:.1f} MiB "
+         f"(ceiling {OPENLOOP_PEAK_RSS_MB_CEILING:.0f})")
+    floor = OPENLOOP_TPS_FLOOR_FRACTION * OPENLOOP_RATE_TPS
+    assert tps >= floor, (
+        f"open-loop throughput collapsed: {tps:.1f} tps measured against "
+        f"{OPENLOOP_RATE_TPS:.0f} offered (floor {floor:.0f})")
+    assert rss <= OPENLOOP_PEAK_RSS_MB_CEILING, (
+        f"open-loop peak RSS {rss:.1f} MiB exceeds the "
+        f"{OPENLOOP_PEAK_RSS_MB_CEILING:.0f} MiB ceiling — per-"
+        f"transaction state is being retained somewhere")
 
 
 def test_emit_bench_harness_json():

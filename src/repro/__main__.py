@@ -29,7 +29,7 @@ from typing import Callable, Dict
 from repro.analysis.primitives import table2_rows
 from repro.bench import figures
 from repro.bench.cache import ResultCache
-from repro.bench.parallel import Cell, cell_values, run_cells
+from repro.bench.parallel import Cell, auto_jobs, cell_values, run_cells
 from repro.bench.report import (
     render_figure,
     render_multicast,
@@ -161,6 +161,13 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
 }
 
 
+def _jobs_arg(text: str) -> int:
+    """``--jobs`` accepts an integer or ``auto`` (size to the machine)."""
+    if text == "auto":
+        return auto_jobs()
+    return int(text)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -175,9 +182,10 @@ def main(argv: list[str] | None = None) -> int:
                              "without re-deriving per-figure counts)")
     parser.add_argument("--duration", type=float, default=8_000.0,
                         help="throughput window in sim-ms (default 8000)")
-    parser.add_argument("--jobs", type=int, default=1,
+    parser.add_argument("--jobs", type=_jobs_arg, default=1,
                         help="worker processes for independent cells "
-                             "(default 1 = in-process)")
+                             "(default 1 = in-process; 'auto' sizes to "
+                             "the machine)")
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute every cell, bypassing the on-disk "
                              "result cache")

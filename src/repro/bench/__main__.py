@@ -1,0 +1,101 @@
+"""Open-loop workload CLI: scale curves and single runs.
+
+Usage::
+
+    python -m repro.bench --scale-curve                 # default sweep
+    python -m repro.bench --scale-curve --sites 8,32,96 --txns 4000
+    python -m repro.bench --open-loop --sites 48 --rate 300 --txns 100000
+    python -m repro.bench --open-loop --txns 1000000    # bounded memory
+
+A scale curve runs the open-loop workload once per deployment size with
+offered load proportional to the site count, and prints measured
+throughput and tail latency per point plus the count-derived
+attribution table for the largest deployment.  Peak RSS is reported for
+the whole process so a million-transaction run can demonstrate bounded
+memory.
+
+The figure/table experiments live under ``python -m repro`` (see
+``python -m repro list``); this entry point covers the workloads that
+have no closed-form figure — open-ended, rate-driven runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import time
+
+from repro.bench.openloop import run_open_loop, scale_curve
+from repro.bench.report import render_open_loop, render_scale_curve
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB (Linux ru_maxrss
+    is KiB; macOS reports bytes — normalise by magnitude)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if rss > 1 << 30:          # clearly bytes
+        return rss / (1 << 20)
+    return rss / 1024.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Open-loop transaction workloads at scale.")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--scale-curve", action="store_true",
+                      help="sweep deployment sizes, offered load scaling "
+                           "with site count")
+    mode.add_argument("--open-loop", action="store_true",
+                      help="one open-loop run at a fixed size and rate")
+    parser.add_argument("--sites", default=None,
+                        help="site count (open-loop) or comma list "
+                             "(scale curve; default 8,24,48,96)")
+    parser.add_argument("--rate", type=float, default=300.0,
+                        help="offered load in txns/sec (open-loop; "
+                             "default 300)")
+    parser.add_argument("--per-site-tps", type=float, default=6.0,
+                        help="offered load per site (scale curve; "
+                             "default 6)")
+    parser.add_argument("--txns", type=int, default=5_000,
+                        help="transactions per run (default 5000; "
+                             "memory stays bounded into the millions)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--op", choices=["write", "read"], default="write")
+    parser.add_argument("--zipf", type=float, default=1.1,
+                        help="Zipf skew for object/remote-site access")
+    parser.add_argument("--remote-fraction", type=float, default=0.15,
+                        help="fraction of transactions that run a 2-site "
+                             "distributed commit (default 0.15)")
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    if args.scale_curve:
+        counts = tuple(int(s) for s in (args.sites or "8,24,48,96")
+                       .split(","))
+        results = scale_curve(site_counts=counts,
+                              per_site_tps=args.per_site_tps,
+                              txns=args.txns, seed=args.seed, op=args.op,
+                              zipf_s=args.zipf,
+                              remote_fraction=args.remote_fraction)
+        print(render_scale_curve(results))
+        print()
+        print(render_open_loop(results[-1]))
+        ok = all(r.unfinished == 0 for r in results)
+    else:
+        sites = int(args.sites) if args.sites else 24
+        result = run_open_loop(sites=sites, rate_tps=args.rate,
+                               txns=args.txns, seed=args.seed, op=args.op,
+                               zipf_s=args.zipf,
+                               remote_fraction=args.remote_fraction)
+        print(render_open_loop(result))
+        ok = result.unfinished == 0
+    elapsed = time.perf_counter() - start
+    print()
+    print(f"host wall: {elapsed:.1f}s; peak RSS: {peak_rss_mb():.1f} MiB")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,12 +10,31 @@ byte-identical results.
 
 The unit of work is a :class:`Cell`: a picklable, hashable description
 of one registry function call.  :func:`run_cells` executes a list of
-cells, optionally across a :class:`~concurrent.futures.ProcessPoolExecutor`,
-and always returns outcomes **in input order** (keyed by cell index, not
-completion order), so parallel and serial runs are indistinguishable to
-callers.  When ``jobs <= 1``, when there is at most one cell to run, or
-when the platform cannot spawn worker processes, execution falls back to
-the in-process loop.
+cells, optionally across worker processes, and always returns outcomes
+**in input order** (keyed by cell index, not completion order), so
+parallel and serial runs are indistinguishable to callers.  When
+``jobs <= 1``, when there is at most one cell to run, or when the
+platform cannot spawn worker processes, execution falls back to the
+in-process loop.
+
+Three things keep the pool path worth its overhead (the first version
+of this module lost most of its speedup to them):
+
+* **Warm, persistent workers.**  The pool is module-level and reused
+  across :func:`run_cells` calls, and every worker runs
+  :func:`_warm_worker` at startup: it imports :mod:`repro.system`
+  (which pulls the whole simulation stack) and pre-builds every stock
+  cost profile, so the first real cell pays simulation time only.
+  Spawning a fresh pool per figure made each worker re-pay ~the full
+  package import before its first result.
+* **Chunked submission.**  Cells ship to workers in contiguous chunks
+  (a few chunks per worker, preserving order) instead of one future per
+  cell, amortising the submit/result round-trip over several
+  measurements.
+* **Cheap specs on the wire.**  Workers receive plain ``(fn, kwargs)``
+  tuples, not :class:`Cell` dataclass instances, so pickling a batch is
+  a flat tuple dump and the worker dispatches straight off
+  :data:`REGISTRY`.
 
 A :class:`~repro.bench.cache.ResultCache` can be threaded through to
 skip cells whose inputs (spec + seed + cost-model fingerprint) have not
@@ -24,6 +43,7 @@ changed since a previous run.
 
 from __future__ import annotations
 
+import atexit
 import os
 import time
 from dataclasses import dataclass
@@ -92,12 +112,144 @@ class CellOutcome:
     worker_pid: int = 0
 
 
+def auto_jobs() -> int:
+    """Worker count heuristic for ``jobs="auto"``.
+
+    One worker per core, capped at 8: the figure suites submit at most a
+    few dozen cells, so beyond eight workers the per-worker chunk drops
+    under two cells and pool overhead eats the gain.  Single-core hosts
+    get 1, which :func:`run_cells` treats as the in-process path — the
+    pool cannot beat serial there.
+    """
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def _resolve_jobs(jobs: Any) -> int:
+    if jobs is None or jobs == "auto":
+        return auto_jobs()
+    return int(jobs)
+
+
+# ------------------------------------------------- worker-side helpers
+
+_Spec = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pay the import/setup cost once per worker.
+
+    Importing :mod:`repro.system` pulls the entire simulation stack
+    (kernel, IPC fabric, LAN, WAL, protocols); pre-building the stock
+    cost profiles touches the config layer the first cell would
+    otherwise fault in.  After this runs, a worker's first cell costs
+    the same as its hundredth.
+    """
+    import repro.system  # noqa: F401  (import is the warm-up)
+    from repro.config import PROFILES
+
+    for factory in PROFILES.values():
+        factory()
+
+
 def _execute(cell: Cell) -> Tuple[Any, float, int]:
-    """Worker entry point: run one cell, timing it (module-level so the
-    process pool can pickle it)."""
+    """Run one cell in-process, timing it."""
     start = time.perf_counter()
     value = cell.call()
     return value, time.perf_counter() - start, os.getpid()
+
+
+def _execute_chunk(specs: Sequence[_Spec]) -> List[Tuple[Any, float, int]]:
+    """Worker entry point: run a contiguous chunk of cell specs.
+
+    Takes plain ``(fn, kwargs)`` tuples (cheap to pickle) and returns
+    ``(value, elapsed_s, pid)`` per spec, in order.
+    """
+    pid = os.getpid()
+    out = []
+    for fn, kwargs in specs:
+        start = time.perf_counter()
+        value = REGISTRY[fn](**dict(kwargs))
+        out.append((value, time.perf_counter() - start, pid))
+    return out
+
+
+# -------------------------------------------- persistent process pool
+
+_POOL = None
+_POOL_JOBS = 0
+
+# Chunks per worker: >1 so a slow cell doesn't serialise its whole
+# chunk-mates behind it, small enough to amortise submission overhead.
+_CHUNKS_PER_WORKER = 4
+
+
+def _discard_pool() -> None:
+    """Tear down the persistent pool (broken pool or resize)."""
+    global _POOL, _POOL_JOBS
+    pool, _POOL, _POOL_JOBS = _POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(_discard_pool)
+
+
+def _get_pool(jobs: int):
+    """The shared warm pool, recreated only when ``jobs`` changes."""
+    global _POOL, _POOL_JOBS
+    if _POOL is not None and _POOL_JOBS != jobs:
+        _discard_pool()
+    if _POOL is None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        _POOL = ProcessPoolExecutor(max_workers=jobs,
+                                    initializer=_warm_worker)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def _worker_touch(delay_s: float) -> int:
+    time.sleep(delay_s)
+    return os.getpid()
+
+
+def warm_pool(jobs: Any = None) -> int:
+    """Spin up (and warm) all workers before timing anything.
+
+    ``ProcessPoolExecutor`` spawns workers lazily; a speedup measurement
+    that includes worker startup in the timed region undercounts the
+    steady-state win.  Submitting one short blocking task per worker
+    forces the full complement to spawn and run :func:`_warm_worker`.
+    Returns the number of distinct worker processes observed.
+    """
+    jobs = _resolve_jobs(jobs)
+    if jobs <= 1:
+        return 0
+    pool = _get_pool(jobs)
+    futures = [pool.submit(_worker_touch, 0.05) for _ in range(jobs)]
+    return len({f.result() for f in futures})
+
+
+def _run_pool(cells: Sequence[Cell], jobs: int) -> List[CellOutcome]:
+    pool = _get_pool(jobs)
+    specs: List[_Spec] = [(c.fn, c.kwargs) for c in cells]
+    chunk = max(1, -(-len(specs) // (jobs * _CHUNKS_PER_WORKER)))
+    chunks = [specs[i:i + chunk] for i in range(0, len(specs), chunk)]
+    try:
+        futures = [pool.submit(_execute_chunk, ch) for ch in chunks]
+        # Chunks are contiguous and futures are drained in submission
+        # order, so the flattened list is in input order regardless of
+        # which worker finished first.
+        results = [triple for f in futures for triple in f.result()]
+    except Exception:
+        # A broken pool (killed worker, unpicklable payload) stays
+        # broken; drop it so the next call starts clean, and let the
+        # caller fall back to serial.
+        _discard_pool()
+        raise
+    return [CellOutcome(cell=cell, value=value, elapsed_s=elapsed,
+                        worker_pid=pid)
+            for cell, (value, elapsed, pid) in zip(cells, results)]
 
 
 def _run_serial(cells: Sequence[Cell]) -> List[CellOutcome]:
@@ -109,33 +261,19 @@ def _run_serial(cells: Sequence[Cell]) -> List[CellOutcome]:
     return out
 
 
-def _run_pool(cells: Sequence[Cell], jobs: int) -> List[CellOutcome]:
-    from concurrent.futures import ProcessPoolExecutor
-
-    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
-    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-        futures = {pool.submit(_execute, cell): i
-                   for i, cell in enumerate(cells)}
-        # Results land by input index regardless of completion order, so
-        # the returned list is deterministic.
-        for future, i in futures.items():
-            value, elapsed, pid = future.result()
-            outcomes[i] = CellOutcome(cell=cells[i], value=value,
-                                      elapsed_s=elapsed, worker_pid=pid)
-    return outcomes  # type: ignore[return-value]
-
-
-def run_cells(cells: Sequence[Cell], jobs: int = 1,
+def run_cells(cells: Sequence[Cell], jobs: Any = 1,
               cache: Optional[Any] = None) -> List[CellOutcome]:
     """Execute ``cells`` and return outcomes in the same order.
 
-    ``jobs > 1`` fans the cells across worker processes; results are
-    identical to a serial run because each cell seeds its own system.
+    ``jobs > 1`` fans the cells across the persistent warm worker pool;
+    results are identical to a serial run because each cell seeds its
+    own system.  ``jobs=None`` or ``"auto"`` picks :func:`auto_jobs`.
     ``cache`` (a :class:`~repro.bench.cache.ResultCache`) short-circuits
     cells already computed with the same spec, seed, and cost model.
     Pool failures (no fork/spawn support, unpicklable results, dead
     workers) fall back to in-process execution rather than erroring.
     """
+    jobs = _resolve_jobs(jobs)
     cells = list(cells)
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
 

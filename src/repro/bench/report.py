@@ -112,3 +112,84 @@ def render_multicast(result: MulticastComparison) -> str:
 
 def render_static_path(path) -> str:
     return "\n".join(path.rows())
+
+
+# ------------------------------------------------------ open-loop runs
+
+
+_ATTR_LABELS = {
+    "ipc": "local IPC",
+    "rpc": "Camelot RPC (NetMsgServer)",
+    "log_force": "log force",
+    "datagram": "inter-TranMan datagram",
+    "cpu": "CPU service",
+    "lock": "lock acquisition",
+    "lock_wait": "lock wait",
+}
+
+
+def render_open_loop(result) -> str:
+    """One open-loop run: throughput + latency sketch + attribution.
+
+    The attribution block is Table-3-style but count-derived: exact
+    per-transaction primitive counts from the streaming recorder, with
+    an estimated ms column at the configured unit cost (blank where no
+    single unit cost exists).
+    """
+    head = render_table(
+        f"Open-loop run: {result.sites} sites, "
+        f"{result.offered_tps:.0f} tps offered",
+        ["METRIC", "VALUE"],
+        [("transactions", f"{result.txns:,}"),
+         ("committed / aborted / unfinished",
+          f"{result.committed:,} / {result.aborted:,} / "
+          f"{result.unfinished:,}"),
+         ("measured tps", f"{result.measured_tps:8.1f}"),
+         ("latency mean ms", f"{result.mean_ms:8.1f}"),
+         ("latency p50 / p95 / p99 ms",
+          f"{result.p50_ms:.1f} / {result.p95_ms:.1f} / "
+          f"{result.p99_ms:.1f}"),
+         ("latency max ms", f"{result.max_ms:8.1f}"),
+         ("peak in-flight", str(result.peak_in_flight))])
+    attr = render_table(
+        "attribution (per committed transaction, from counts)",
+        ["PRIMITIVE CLASS", "COUNT/txn", "EST ms/txn"],
+        [(_ATTR_LABELS.get(row.cls, row.cls), f"{row.per_txn:8.2f}",
+          f"{row.est_ms:8.2f}" if row.est_ms else "    -")
+         for row in result.attribution])
+    return head + "\n\n" + attr
+
+
+def render_scale_curve(results) -> str:
+    """Open-loop scale curve: one row per deployment size."""
+    rows = []
+    for r in results:
+        rows.append((str(r.sites), f"{r.offered_tps:8.1f}",
+                     f"{r.measured_tps:8.1f}",
+                     f"{100.0 * r.commit_fraction:5.1f} %",
+                     f"{r.p50_ms:7.1f}", f"{r.p95_ms:7.1f}",
+                     f"{r.p99_ms:7.1f}", str(r.peak_in_flight)))
+    return render_table(
+        "Scale curve: open-loop throughput vs deployment size",
+        ["SITES", "OFFERED tps", "MEASURED tps", "COMMIT",
+         "p50 ms", "p95 ms", "p99 ms", "PEAK IN-FLIGHT"], rows)
+
+
+# -------------------------------------------- harness speedup reporting
+
+
+def render_speedups(timings: Dict[str, tuple]) -> str:
+    """Per-figure parallel speedup: ``{figure: (serial_s, parallel_s)}``.
+
+    Printed by the harness bench so every BENCH_harness.json update
+    shows where the pool pays off figure by figure, not just in
+    aggregate.
+    """
+    rows = []
+    for name, (serial_s, parallel_s) in sorted(timings.items()):
+        ratio = serial_s / parallel_s if parallel_s > 0 else 0.0
+        rows.append((name, f"{serial_s:7.2f}", f"{parallel_s:7.2f}",
+                     f"{ratio:5.2f}x"))
+    return render_table(
+        "Figure regeneration: serial vs parallel wall time",
+        ["FIGURE", "SERIAL s", "PARALLEL s", "SPEEDUP"], rows)

@@ -175,6 +175,11 @@ class SystemConfig:
     sites: Dict[str, int] = field(default_factory=lambda: {"site0": 1})
     seed: int = 0
     tranman_threads: int = 20
+    # Data-server pool size.  Lock waiters occupy a worker for up to
+    # ``lock_wait_timeout``; under contention a pool this small convoys
+    # (lock-release messages queue behind the very waiters they would
+    # unblock), so open-loop runs raise it well above the default.
+    server_threads: int = 4
     # Group commit is the throughput/latency trade of §3.5 — off by
     # default (the latency experiments), switched on for Figures 4-5.
     group_commit: bool = False

@@ -22,7 +22,19 @@ This module hosts the sans-IO state machines of
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Set
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.config import CostModel
 from repro.core.abortproto import AbortInitiator, AbortParticipant
@@ -113,6 +125,16 @@ class TransactionManager:
         # TIDs this site answered READ_ONLY for: a retried prepare must
         # re-vote read-only, not NO (the machine is long forgotten).
         self.read_only_votes: Set[str] = set()
+        # Completed-transaction bookkeeping (tombstones, pledges,
+        # read-only votes) answers late inquiries, so entries must
+        # outlive the protocol's retry horizon — but not the run: kept
+        # forever, a million-transaction run leaks one entry per
+        # transaction.  The retire log expires them once no straggler
+        # can still ask (orphan timeout + protocol timeout is ~15x the
+        # datagram retry window).
+        self.tombstone_retention_ms = (cost.orphan_timeout
+                                       + cost.protocol_timeout)
+        self._retire_log: Deque[Tuple[float, str]] = deque()
         self._pending_calls: Dict[TID, Message] = {}
         self._timers: Dict[tuple, Timer] = {}
         self._lazy: Dict[str, List[Any]] = {}
@@ -195,6 +217,7 @@ class TransactionManager:
                 self.tracer.record(now, "tranman.orphan_abort",
                                    site=self.site.name, tid=family_name)
                 self.tombstones[family_name] = Outcome.ABORTED
+                self.note_retirable(family_name)
                 self._local_abort(top)
                 self.families.forget_family(family_name)
                 self.family_locks.pop(family_name, None)
@@ -613,6 +636,7 @@ class TransactionManager:
         else:
             yield from self.diskman.force(record.lsn)
         self.pledges.add(str(tid))
+        self.note_retirable(str(tid))
         self.tracer.record(self.kernel.now, "nb.stateless_pledge",
                            site=self.site.name, tid=str(tid))
         self.dgram.send(pmsg.sender,
@@ -747,6 +771,7 @@ class TransactionManager:
 
         if record.kind is RecordKind.ABORT_PLEDGE:
             self.pledges.add(record.tid)
+            self.note_retirable(record.tid)
             tid = TID.parse(record.tid)
             sub = self.machines.get(tid)
             if isinstance(sub, NbSubordinate):
@@ -789,6 +814,7 @@ class TransactionManager:
             combined = _combine_votes(votes)
         if combined is Vote.READ_ONLY:
             self.read_only_votes.add(str(tid))
+            self.note_retirable(str(tid))
         self.tracer.record(self.kernel.now, "tranman.local_prepared",
                            site=self.site.name, tid=str(tid),
                            vote=combined.value)
@@ -832,9 +858,27 @@ class TransactionManager:
 
     # ------------------------------------------------------ completions
 
+    def note_retirable(self, tid_str: str) -> None:
+        """Schedule completed-transaction bookkeeping for expiry.
+
+        Called whenever a tombstone, abort pledge, or read-only vote is
+        recorded; prunes entries past the retention horizon as it goes
+        (amortized O(1) per completion), so these maps stay bounded by
+        the retention window's transaction count, not the run's.
+        """
+        log = self._retire_log
+        log.append((self.kernel.now, tid_str))
+        horizon = self.kernel.now - self.tombstone_retention_ms
+        while log and log[0][0] < horizon:
+            __, old = log.popleft()
+            self.tombstones.pop(old, None)
+            self.pledges.discard(old)
+            self.read_only_votes.discard(old)
+
     def _complete(self, effect: Complete) -> None:
         tid = effect.tid
         self.tombstones[str(tid)] = effect.outcome
+        self.note_retirable(str(tid))
         if tid.is_top_level:
             if effect.outcome is Outcome.COMMITTED:
                 self.stats["committed"] += 1
@@ -859,6 +903,7 @@ class TransactionManager:
         outcome = getattr(machine, "outcome", None)
         if outcome is not None:
             self.tombstones[str(tid)] = outcome
+            self.note_retirable(str(tid))
         current = self.machines.get(tid)
         if current is machine:
             del self.machines[tid]

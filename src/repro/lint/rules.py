@@ -616,3 +616,133 @@ def check_obs_readonly(ctx: LintContext) -> List[Finding]:
                         flag(n, f"calls steering method .{n.func.attr}() "
                                 f"on simulation state")
     return out
+
+
+# ------------------------------------------------ rule: unbounded growth
+
+# Methods that add entries to a container.
+_GROW_METHODS = {"append", "appendleft", "add", "push", "extend", "update"}
+# Methods that remove entries; a class that both grows and shrinks a
+# container is managing its size, which is all this heuristic asks for.
+_SHRINK_METHODS = {"pop", "popleft", "popitem", "remove", "discard",
+                   "clear", "drain", "truncate", "truncate_before",
+                   "release_family", "forget", "forget_family"}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """'x' for a ``self.x`` attribute node, else None."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+_CONTAINER_CTORS = {"list", "dict", "set", "deque", "defaultdict",
+                    "Counter", "OrderedDict"}
+
+
+def _container_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attributes assigned a container literal/constructor in __init__.
+
+    Distinguishes real containers (``self.pledges = set()``) from
+    components that merely expose ``append``/``update`` methods
+    (``self.diskman = diskman`` — delegation, not growth).
+    """
+    attrs: Set[str] = set()
+    for method in cls.body:
+        if not isinstance(method, ast.FunctionDef) \
+                or method.name != "__init__":
+            continue
+        for node in ast.walk(method):
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            is_container = (
+                isinstance(value, (ast.List, ast.Dict, ast.Set,
+                                   ast.ListComp, ast.DictComp,
+                                   ast.SetComp))
+                or (isinstance(value, ast.Call)
+                    and (_dotted(value.func) or "").split(".")[-1]
+                    in _CONTAINER_CTORS))
+            if not is_container:
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    attrs.add(attr)
+    return attrs
+
+
+@rule("unbounded-growth",
+      "A sim-path class that grows a container per event/message/"
+      "transaction must also shrink it somewhere: long open-loop runs "
+      "turn grow-only bookkeeping into an unbounded leak.")
+def check_unbounded_growth(ctx: LintContext) -> List[Finding]:
+    """Per class: flag ``self.X`` containers grown outside ``__init__``
+    (``.append``/``.add``/... or ``self.X[k] = v``) when no method of
+    the class ever shrinks or reassigns them.
+
+    Growth inside ``__init__`` is construction, not accumulation; a
+    reassignment outside ``__init__`` (``self.X = [...]``) counts as a
+    shrink because the old contents are dropped.  Intentional grow-only
+    state (config-gated history, per-site registries bounded by the
+    deployment size) belongs in the lint baseline with a justification.
+    """
+    out: List[Finding] = []
+    for info in ctx.sim_files():
+        if info.tree is None:
+            continue
+        for cls in ast.walk(info.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            containers = _container_attrs(cls)
+            grows: Dict[str, ast.AST] = {}
+            shrinks: Set[str] = set()
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue
+                in_init = method.name == "__init__"
+                for node in ast.walk(method):
+                    if isinstance(node, ast.Call) \
+                            and isinstance(node.func, ast.Attribute):
+                        attr = _self_attr(node.func.value)
+                        if attr is None:
+                            continue
+                        if node.func.attr in _GROW_METHODS and not in_init:
+                            grows.setdefault(attr, node)
+                        elif node.func.attr in _SHRINK_METHODS:
+                            shrinks.add(attr)
+                    elif isinstance(node, ast.Assign):
+                        for target in node.targets:
+                            if isinstance(target, ast.Subscript):
+                                attr = _self_attr(target.value)
+                                if attr is not None and not in_init:
+                                    grows.setdefault(attr, node)
+                            else:
+                                attr = _self_attr(target)
+                                if attr is not None and not in_init:
+                                    # Reassignment drops old contents.
+                                    shrinks.add(attr)
+                    elif isinstance(node, ast.Delete):
+                        for target in node.targets:
+                            if isinstance(target, ast.Subscript):
+                                attr = _self_attr(target.value)
+                                if attr is not None:
+                                    shrinks.add(attr)
+            for attr, node in sorted(grows.items()):
+                if attr in shrinks or attr not in containers:
+                    continue
+                out.append(ctx.finding(
+                    info, node, "unbounded-growth",
+                    f"{cls.name}.{attr} grows per event but no method "
+                    f"of {cls.name} ever removes entries; long runs "
+                    f"leak — shrink it, bound it, or baseline with a "
+                    f"justification",
+                    key=f"{cls.name}.{attr}"))
+    return out

@@ -20,9 +20,11 @@ from typing import Any, Dict, Optional
 _msg_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """One Mach message.
+    """One Mach message.  ``slots=True``: messages are the single most
+    allocated object in a run (one per IPC hop), and slot storage trims
+    both the per-instance dict and the attribute-access path.
 
     Attributes
     ----------

@@ -38,6 +38,12 @@ class Site:
         )
         self.ports: Dict[str, Port] = {}
         self.processes: List[Process] = []
+        # Finished processes are swept lazily: the registry exists only
+        # so a crash can kill live processes, but per-transaction spawns
+        # (prepare votes, continuations) would otherwise grow it by one
+        # entry per message forever.  Doubling watermark => O(1)
+        # amortized per spawn.
+        self._process_sweep_at = 64
         self.crash_count = 0
         self.on_crash: List[Callable[[], None]] = []
 
@@ -71,6 +77,9 @@ class Site:
             proc.kill()
             return proc
         self.processes.append(proc)
+        if len(self.processes) >= self._process_sweep_at:
+            self.processes = [p for p in self.processes if p.alive]
+            self._process_sweep_at = max(64, 2 * len(self.processes))
         return proc
 
     def consume_cpu(self, cost_ms: float) -> Generator[Any, Any, None]:

@@ -41,6 +41,10 @@ from repro.sim.tracing import Tracer
 
 DeliverFn = Callable[[Any], None]
 
+# Backlog multiplier ceiling for sender-side scheduling jitter (in units
+# of queued sends).  See Lan._send_jitter.
+_SEND_BACKLOG_JITTER_CAP = 8.0
+
 
 class Lan:
     """The shared medium connecting all sites."""
@@ -130,8 +134,18 @@ class Lan:
         variance is created by the coordinator's repeated sends and not
         by its repeated receives ... may be due to operating system
         scheduling policies" (paper §4.2).
+
+        The multiplier is capped: jitter proportional to *unbounded*
+        backlog is a positive feedback loop (more backlog -> longer
+        occupancy -> more backlog) that diverges under sustained
+        open-loop load, which no physical NIC does.  The paper's effect
+        lives at backlogs of a few sends (a coordinator's 3-5 prepares),
+        well under the cap, so the measured superlinearity is preserved
+        where it matters and past the cap delay grows linearly like a
+        real transmit queue.
         """
-        mean = self.cost.datagram_send_jitter * (1.0 + backlog)
+        mean = self.cost.datagram_send_jitter * (
+            1.0 + min(backlog, _SEND_BACKLOG_JITTER_CAP))
         if mean <= 0:
             return 0.0
         return self.rng.stream("lan.sendsched").expovariate(1.0 / mean)

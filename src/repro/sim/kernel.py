@@ -1,4 +1,4 @@
-"""The discrete-event kernel: a clock plus a pending-event heap.
+"""The discrete-event kernel: a clock, a near heap, and a timer wheel.
 
 The kernel is deliberately tiny.  It knows nothing about transactions,
 messages, or CPUs; it only orders callbacks in virtual time.  Richer
@@ -10,15 +10,41 @@ order (a monotonically increasing sequence number breaks ties), so a
 simulation with a fixed RNG seed is exactly reproducible.
 
 Hot path: every simulated message, CPU grant, and timer passes through
-this heap, so the representation matters.  A :class:`Timer` is a list
-``[time, seq, fn, args, cancelled, kernel]`` and is pushed on the heap
-directly: construction is a single C-level allocation (no ``__init__``
-frame, no wrapper tuple), and heap sifting uses C-level list comparison
-— ``seq`` is unique, so ordering is decided by ``(time, seq)`` and the
-trailing elements are never compared.  Cancelled timers stay in the heap
-(O(1) cancel) but are counted, and the heap is compacted once they
-outnumber the live entries, so cancel-heavy workloads (the datagram
-retry layer cancels a timer per delivered message) cannot grow it
+this module, so the representation matters.  The pending set is split
+across three tiers chosen by *delay*, not by data structure dogma —
+measured on this workload, C-level ``heappush``/``heappop`` beats any
+per-event Python arithmetic while the heap is small, so the fix for
+cancel-heavy timer load is to keep the timeout traffic out of the hot
+heap entirely:
+
+``_heap`` (near tier)
+    A binary heap of the short-fuse events — message hops, CPU grants,
+    process wake-ups.  ``post`` entries are plain 4-element lists
+    ``[time, seq, fn, args]`` (one C ``BUILD_LIST``, no subclass
+    constructor, nothing to cancel); ``schedule`` entries are
+    :class:`Timer` (a 6-element list subclass).  ``seq`` is unique, so
+    heap sifting is decided by C list comparison on ``(time, seq)`` and
+    later elements are never compared.
+
+``_wheel`` (bucket tier)
+    An array-backed bucketed queue — 512 slots of 64 ms — that only
+    timers with ``delay >=`` one slot take: exactly the retransmit /
+    protocol / lock-wait timeouts that are nearly always cancelled
+    before firing.  Insert and cancel are O(1) appends/flag-stores, a
+    cancelled timeout never touches the near heap at all, and the heap
+    stays small (= fast) no matter how many timeouts are outstanding.
+    Buckets drain into the near heap *before* any event at or past
+    their slot edge fires, which preserves the global ``(time, seq)``
+    order exactly.
+
+``_overflow`` (far tier)
+    A heap for timers beyond the wheel horizon (32.768 s) — orphan
+    timers, checkpoint sweeps.  Drained like a one-slot bucket.
+
+Cancelled entries stay where they are (O(1) cancel), are dropped when
+their tier drains, and are compacted in bulk once they outnumber the
+live entries, so cancel-heavy workloads (the datagram retry layer
+cancels a timer per delivered message) cannot grow the pending set
 without bound.
 """
 
@@ -31,9 +57,21 @@ from typing import Any, Callable, Optional
 # second object per scheduled event on the allocation profile).
 _TIME, _SEQ, _FN, _ARGS, _CANCELLED, _KERNEL = range(6)
 
+# Bucket tier geometry.  One slot is 64 ms (cheap ``int(t) >> 6`` slot
+# math); 512 slots give a 32.768 s horizon that covers every CostModel
+# timeout except the orphan sweep.  Timers shorter than one slot go to
+# the near heap: for them the wheel's Python-level slot arithmetic
+# costs more than a C heappush (measured, not assumed).
+_SLOT_MS = 64.0
+_SLOT_SHIFT = 6
+_WHEEL_SLOTS = 512
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+
+_INF = float("inf")
+
 # Compaction floor: below this many cancelled entries the scan is not
-# worth it, however skewed the ratio (keeps tiny heaps out of the
-# compactor entirely).
+# worth it, however skewed the ratio (keeps tiny pending sets out of
+# the compactor entirely).
 _COMPACT_MIN_CANCELLED = 64
 
 
@@ -44,11 +82,11 @@ class SimulationError(RuntimeError):
 class Timer(list):
     """Handle returned by :meth:`Kernel.schedule`; supports cancellation.
 
-    Doubles as the heap entry itself: the payload list
+    Doubles as the queue entry itself: the payload list
     ``[time, seq, fn, args, cancelled, kernel]`` is built by the C list
     constructor, so scheduling an event costs one allocation.
-    ``cancel`` is O(1) — the entry stays in the heap, marked, and is
-    skipped when popped (or compacted away in bulk).
+    ``cancel`` is O(1) — the entry stays in its tier, marked, and is
+    dropped when the tier drains (or compacted away in bulk).
     """
 
     __slots__ = ()
@@ -82,20 +120,32 @@ class Kernel:
         assert k.now == 5.0
     """
 
+    __slots__ = ("_now", "_seq", "_heap", "_wheel", "_slots", "_bucket_n",
+                 "_overflow", "_horizon", "_running", "_live_processes",
+                 "_cancelled", "monitor")
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._heap: list = []   # heap of Timer (ordered by (time, seq))
+        self._heap: list = []       # near tier: heap of Timer | 4-list
+        self._wheel: list = [[] for _ in range(_WHEEL_SLOTS)]
+        self._slots: list = []      # heap of occupied absolute slot numbers
+        self._bucket_n = 0          # entries resident in the wheel
+        self._overflow: list = []   # far tier: heap of Timer
+        # Lowest time any bucketed/overflow entry may fire at; events at
+        # or past it trigger a drain first.  _INF when both tiers are
+        # empty, so the hot dispatch path pays one float compare.
+        self._horizon = _INF
         self._running = False
         self._live_processes = 0
-        self._live = 0          # scheduled, not yet fired or cancelled
-        self._cancelled = 0     # cancelled entries still sitting in the heap
+        self._cancelled = 0     # cancelled entries still in some tier
         # Opt-in instrumentation (e.g. the repro.lint race detector).
         # When set, the monitor sees every schedule and every dispatch;
         # when None (the default) the hot path pays one predictable
         # branch per event.  Protocol: monitor.on_schedule(seq) at
         # scheduling time, monitor.before_fire(time, seq, fn, args)
-        # immediately before each callback runs.
+        # immediately before each callback runs.  Attach before run():
+        # the dispatch loop binds it once per run() call.
         self.monitor: Optional[Any] = None
 
     @property
@@ -106,13 +156,21 @@ class Kernel:
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled scheduled calls (O(1) — monitoring
-        loops poll this)."""
-        return self._live
+        loops poll this).
+
+        Derived from counters every tier already maintains (fired
+        entries leave their tier by pop, cancelled ones are counted as
+        they cancel), so the per-event hot paths carry no separate
+        live-count read-modify-write.
+        """
+        return (len(self._heap) + self._bucket_n + len(self._overflow)
+                - self._cancelled)
 
     @property
     def heap_size(self) -> int:
-        """Total heap entries including cancelled ones (observability)."""
-        return len(self._heap)
+        """Total retained entries across all tiers, including cancelled
+        ones still awaiting drop (observability)."""
+        return len(self._heap) + self._bucket_n + len(self._overflow)
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Timer:
         """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
@@ -120,12 +178,38 @@ class Kernel:
             raise SimulationError(f"negative delay {delay!r}")
         seq = self._seq
         self._seq = seq + 1
-        timer = Timer((self._now + delay, seq, fn, args, False, self))
-        heappush(self._heap, timer)
-        self._live += 1
+        time = self._now + delay
+        timer = Timer((time, seq, fn, args, False, self))
+        if delay < _SLOT_MS:
+            heappush(self._heap, timer)
+        else:
+            self._enqueue_timeout(timer, time)
         if self.monitor is not None:
             self.monitor.on_schedule(seq)
         return timer
+
+    def _enqueue_timeout(self, timer: Timer, time: float) -> None:
+        """Route a timeout-class timer to the wheel or overflow tier.
+
+        ``delay >= _SLOT_MS`` guarantees the target slot is strictly
+        ahead of the current one, and every retained slot is within
+        ``_WHEEL_SLOTS`` of it, so each wheel index maps to exactly one
+        absolute slot at a time.
+        """
+        slot = int(time) >> _SLOT_SHIFT
+        if slot - (int(self._now) >> _SLOT_SHIFT) <= _WHEEL_SLOTS:
+            bucket = self._wheel[slot & _WHEEL_MASK]
+            if not bucket:
+                heappush(self._slots, slot)
+                edge = slot << _SLOT_SHIFT
+                if edge < self._horizon:
+                    self._horizon = edge
+            bucket.append(timer)
+            self._bucket_n += 1
+        else:
+            heappush(self._overflow, timer)
+            if time < self._horizon:
+                self._horizon = time
 
     def call_soon(self, fn: Callable[..., None], *args: Any) -> Timer:
         """Schedule ``fn(*args)`` at the current instant (after current event)."""
@@ -134,17 +218,20 @@ class Kernel:
     def post(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
         """Fire-and-forget :meth:`schedule`: no :class:`Timer` handle.
 
-        The heap entry is a plain list (C ``BUILD_LIST``, no subclass
-        constructor), which makes this the cheapest way to inject an
-        event.  Message delivery, process wake-ups, and event triggers —
-        the per-event hot path — never cancel, so they post.
+        The entry is a plain 4-element list (C ``BUILD_LIST``, no
+        subclass constructor, no cancelled flag), which makes this the
+        cheapest way to inject an event.  Message delivery, process
+        wake-ups, and event triggers — the per-event hot path — never
+        cancel, so they post.  Posts always live in the near heap; the
+        drain invariant only requires *bucketed* entries to be merged
+        before later events fire, so a long-delay post is still
+        ordered correctly.
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         seq = self._seq
         self._seq = seq + 1
-        heappush(self._heap, [self._now + delay, seq, fn, args, False, None])
-        self._live += 1
+        heappush(self._heap, [self._now + delay, seq, fn, args])
         if self.monitor is not None:
             self.monitor.on_schedule(seq)
 
@@ -152,57 +239,125 @@ class Kernel:
         """Fire-and-forget :meth:`call_soon` (see :meth:`post`)."""
         seq = self._seq
         self._seq = seq + 1
-        heappush(self._heap, [self._now, seq, fn, args, False, None])
-        self._live += 1
+        heappush(self._heap, [self._now, seq, fn, args])
         if self.monitor is not None:
             self.monitor.on_schedule(seq)
 
     def _note_cancel(self) -> None:
-        """Timer bookkeeping: keep ``pending`` O(1) and the heap bounded."""
-        self._live -= 1
+        """Timer bookkeeping: keep ``pending`` O(1) and retention bounded."""
         self._cancelled += 1
         if (self._cancelled >= _COMPACT_MIN_CANCELLED
-                and self._cancelled * 2 > len(self._heap)):
+                and self._cancelled * 2 > (len(self._heap) + self._bucket_n
+                                           + len(self._overflow))):
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled entries.
+        """Drop cancelled entries from every tier.
 
-        Called when cancelled entries exceed half the heap, so the heap
-        size stays within 2x the live entry count (plus the compaction
-        floor) no matter how cancel-heavy the workload is.
+        Called when cancelled entries exceed half the retained set, so
+        retention stays within 2x the live entry count (plus the
+        compaction floor) no matter how cancel-heavy the workload is.
+        The near heap is filtered *in place* (slice assignment) so the
+        list object bound by a running dispatch loop stays valid.
         """
-        self._heap = [timer for timer in self._heap if not timer[_CANCELLED]]
-        heapify(self._heap)
+        heap = self._heap
+        heap[:] = [e for e in heap if e.__class__ is list or not e[4]]
+        heapify(heap)
+        wheel = self._wheel
+        kept_slots = []
+        bucket_n = 0
+        for slot in self._slots:
+            idx = slot & _WHEEL_MASK
+            bucket = wheel[idx]
+            if bucket:
+                live = [e for e in bucket if not e[4]]
+                if live:
+                    wheel[idx] = live
+                    kept_slots.append(slot)
+                    bucket_n += len(live)
+                else:
+                    wheel[idx] = []
+        heapify(kept_slots)
+        self._slots = kept_slots
+        self._bucket_n = bucket_n
+        overflow = self._overflow
+        overflow[:] = [e for e in overflow if not e[4]]
+        heapify(overflow)
         self._cancelled = 0
+        self._horizon = min(
+            (kept_slots[0] << _SLOT_SHIFT) if kept_slots else _INF,
+            overflow[0][0] if overflow else _INF)
+
+    def _drain(self, boundary: float) -> None:
+        """Merge bucketed/overflow entries due by ``boundary`` into the
+        near heap, dropping cancelled ones, and recompute the horizon.
+
+        Called before any event at or past the horizon fires, so every
+        timeout re-enters the global ``(time, seq)`` order in time.  A
+        slot drains wholesale (entries later in the slot just sift into
+        place); overflow drains by exact entry time.
+        """
+        heap = self._heap
+        slots = self._slots
+        wheel = self._wheel
+        while slots and slots[0] << _SLOT_SHIFT <= boundary:
+            idx = heappop(slots) & _WHEEL_MASK
+            bucket = wheel[idx]
+            if bucket:
+                wheel[idx] = []
+                self._bucket_n -= len(bucket)
+                for e in bucket:
+                    if e[4]:
+                        self._cancelled -= 1
+                    else:
+                        heappush(heap, e)
+        overflow = self._overflow
+        while overflow and overflow[0][0] <= boundary:
+            e = heappop(overflow)
+            if e[4]:
+                self._cancelled -= 1
+            else:
+                heappush(heap, e)
+        self._horizon = min(
+            (slots[0] << _SLOT_SHIFT) if slots else _INF,
+            overflow[0][0] if overflow else _INF)
 
     def step(self) -> bool:
         """Run the single next event.  Returns False if none remained."""
-        # Timer slots addressed by literal index (see _TIME.._KERNEL):
-        # this loop runs once per simulated event.
         while True:
-            heap = self._heap  # re-read: a callback's cancel may compact
+            heap = self._heap
             if not heap:
+                if self._horizon < _INF:
+                    self._drain(self._horizon)
+                    continue
                 return False
-            timer = heappop(heap)
-            if timer[4]:  # cancelled
+            entry = heap[0]
+            if entry.__class__ is not list and entry[4]:  # cancelled Timer
+                heappop(heap)
                 self._cancelled -= 1
                 continue
-            time = timer[0]
+            time = entry[0]
+            if time >= self._horizon:
+                self._drain(time)
+                continue
+            heappop(heap)
             if time < self._now:
                 raise SimulationError("event heap time went backwards")
             self._now = time
-            self._live -= 1
-            fn, args = timer[2], timer[3]
-            timer[2] = None  # mark fired for Timer.active
-            timer[3] = ()
-            if self.monitor is not None:
-                self.monitor.before_fire(time, timer[1], fn, args)
-            fn(*args)
+            fn, args = entry[2], entry[3]
+            if entry.__class__ is not list:
+                entry[2] = None  # mark fired for Timer.active
+            monitor = self.monitor
+            if monitor is not None:
+                monitor.before_fire(time, entry[1], fn, args)
+            if args:
+                fn(*args)
+            else:
+                fn()
             return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run events until the heap drains, ``until`` passes, or the budget ends.
+        """Run events until the queues drain, ``until`` passes, or the budget ends.
 
         ``until`` is an absolute virtual time: the clock is advanced to it
         even if the last event fires earlier, matching the usual
@@ -211,40 +366,92 @@ class Kernel:
         if self._running:
             raise SimulationError("kernel is already running (reentrant run())")
         self._running = True
-        # Hoist the optional bounds out of the dispatch loop.
-        deadline = float("inf") if until is None else until
+        # Hoist the optional bounds and the hot attributes out of the
+        # dispatch loop.  The heap local stays valid across compaction
+        # (which filters in place) but the horizon must be re-read per
+        # event: a callback scheduling a timeout can lower it.
+        deadline = _INF if until is None else until
         budget = -1 if max_events is None else max_events
         events = 0
+        heap = self._heap
+        now = self._now
+        monitor = self.monitor
         try:
             while True:
-                heap = self._heap  # re-read: compaction swaps the list
-                if not heap:
+                # Zero-cost try (3.11): popping the empty heap is the
+                # rare path, so the per-event emptiness check is gone.
+                try:
+                    entry = heappop(heap)
+                except IndexError:
+                    horizon = self._horizon
+                    if horizon < _INF and horizon <= deadline:
+                        self._drain(horizon)
+                        continue
                     break
-                timer = heap[0]
-                if timer[4]:  # cancelled
-                    heappop(heap)
-                    self._cancelled -= 1
-                    continue
-                time = timer[0]
-                if time > deadline:
-                    break
-                if events == budget:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; likely a livelock"
-                    )
-                # Inline dispatch (step() would pop via a second peek).
-                heappop(heap)
-                if time < self._now:
-                    raise SimulationError("event heap time went backwards")
-                self._now = time
-                self._live -= 1
-                fn, args = timer[2], timer[3]
-                timer[2] = None  # mark fired for Timer.active
-                timer[3] = ()
-                if self.monitor is not None:
-                    self.monitor.before_fire(time, timer[1], fn, args)
-                fn(*args)
-                events += 1
+                # Two dispatch arms so each event pays exactly one type
+                # check: posts (plain lists) have no cancelled flag and
+                # no fired-marking; Timers have both.
+                if entry.__class__ is list:
+                    time = entry[0]
+                    if time >= self._horizon:
+                        heappush(heap, entry)
+                        self._drain(time)
+                        continue
+                    if time > deadline:
+                        heappush(heap, entry)
+                        break
+                    if events == budget:
+                        heappush(heap, entry)
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "likely a livelock")
+                    if time < now:
+                        raise SimulationError(
+                            "event heap time went backwards")
+                    self._now = now = time
+                    fn = entry[2]
+                    args = entry[3]
+                    if monitor is not None:
+                        monitor.before_fire(time, entry[1], fn, args)
+                    # Specialized no-arg call: CALL beats CALL_FUNCTION_EX
+                    # and argless callbacks (process ticks, timer pokes)
+                    # are common.
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+                    events += 1
+                else:
+                    if entry[4]:  # cancelled Timer
+                        self._cancelled -= 1
+                        continue
+                    time = entry[0]
+                    if time >= self._horizon:
+                        heappush(heap, entry)
+                        self._drain(time)
+                        continue
+                    if time > deadline:
+                        heappush(heap, entry)
+                        break
+                    if events == budget:
+                        heappush(heap, entry)
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "likely a livelock")
+                    if time < now:
+                        raise SimulationError(
+                            "event heap time went backwards")
+                    self._now = now = time
+                    fn = entry[2]
+                    args = entry[3]
+                    entry[2] = None  # mark fired for Timer.active
+                    if monitor is not None:
+                        monitor.before_fire(time, entry[1], fn, args)
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+                    events += 1
         finally:
             self._running = False
         if until is not None and self._now < until:

@@ -108,6 +108,7 @@ class CamelotSystem:
             server = DataServer(
                 self.kernel, site, server_name, self.fabric, diskman,
                 self.cost, self.tracer, tranman_port=tranman.port,
+                threads=self.config.server_threads,
                 initial_objects=self.initial_objects.get(server_name),
                 read_only_optimization=self.config.read_only_optimization)
             self.directory.register(server_name, name, server.port)
@@ -145,11 +146,17 @@ class CamelotSystem:
         site_name = service.split("@", 1)[1]
         return self.runtimes[site_name].servers[service]
 
-    def application(self, site_name: str, name: str = "app") -> Application:
+    def application(self, site_name: str, name: str = "app",
+                    keep_history: bool = True) -> Application:
+        """An application bound to ``site_name``.  ``keep_history=False``
+        is the streaming mode for unbounded workloads (open-loop runs):
+        outcome counts stay exact, per-transaction records are dropped
+        at completion."""
         rt = self.runtimes[site_name]
         return Application(self.kernel, rt.site, self.fabric, rt.comman,
                            rt.tranman.port, self.cost, self.tracer,
-                           name=f"{name}@{site_name}")
+                           name=f"{name}@{site_name}",
+                           keep_history=keep_history)
 
     def default_services(self) -> List[str]:
         """One server per site, coordinator's first (the paper's minimal
@@ -214,6 +221,10 @@ class CamelotSystem:
                 server.load_state(merged)
         runtime.tranman.tombstones.update(plan.tombstones)
         runtime.tranman.pledges.update(plan.pledges)
+        # Adopted bookkeeping joins the retire log so recovered state is
+        # pruned on the same retention horizon as live state.
+        for tid_str in set(plan.tombstones) | set(plan.pledges):
+            runtime.tranman.note_retirable(tid_str)
         for machine, effects in build_machines(
                 plan, name, protocol_timeout_ms=self.cost.protocol_timeout):
             runtime.tranman.adopt_recovered_machine(machine, effects)

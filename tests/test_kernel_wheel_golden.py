@@ -1,0 +1,222 @@
+"""Golden-transcript equivalence: timer wheel vs a reference heap.
+
+The kernel routes timeout-class timers (``delay >= 64 ms``) through an
+array-backed bucket wheel instead of the near heap (see
+``sim/kernel.py``).  The wheel must be *observationally invisible*: the
+fired-event transcript — every ``(time, seq)`` in order — has to be
+byte-identical to what a single global ``(time, seq)`` heap produces,
+no matter how schedule/cancel/post calls interleave across tiers.
+
+``ReferenceKernel`` below is the old design kept on purpose: one heap,
+lazy cancellation.  It is deliberately naive (no wheel, no compaction
+pressure games) so the comparison pins semantics, not implementation.
+
+The headline test is the cancel-heavy regression from the issue: 100k
+short-horizon schedule/cancel timers (the datagram-retry pattern) with
+live traffic interleaved, asserted transcript-identical.
+"""
+
+from heapq import heappop, heappush
+
+import pytest
+
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngStreams
+
+
+class _RefTimer(list):
+    __slots__ = ()
+
+    def cancel(self):
+        if self[4] or self[2] is None:
+            return
+        self[4] = True
+
+
+class ReferenceKernel:
+    """Single-heap kernel: the semantic baseline for event ordering."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._seq = 0
+        self._heap = []
+
+    def schedule(self, delay, fn, *args):
+        assert delay >= 0
+        seq = self._seq
+        self._seq = seq + 1
+        timer = _RefTimer((self.now + delay, seq, fn, args, False))
+        heappush(self._heap, timer)
+        return timer
+
+    def post(self, delay, fn, *args):
+        self.schedule(delay, fn, *args)
+
+    def run(self, until=None):
+        while self._heap:
+            timer = self._heap[0]
+            if timer[4]:
+                heappop(self._heap)
+                continue
+            if until is not None and timer[0] > until:
+                break
+            heappop(self._heap)
+            self.now = timer[0]
+            fn, args = timer[2], timer[3]
+            timer[2] = None
+            fn(*args)
+        if until is not None and self.now < until:
+            self.now = until
+
+
+def _transcript(kernel_cls, workload, **run_kw):
+    """Run ``workload`` on a fresh kernel; return the fired transcript.
+
+    The transcript records ``(time, tag)`` per fired event.  Sequence
+    numbers are allocated identically by both kernels (one per
+    schedule/post call, in call order), so tag identity plus firing
+    order pins the full ``(time, seq)`` total order.
+    """
+    k = kernel_cls()
+    fired = []
+    workload(k, fired)
+    k.run(**run_kw)
+    return [(round(t, 9), tag) for t, tag in fired]
+
+
+def _assert_identical(workload, **run_kw):
+    golden = _transcript(ReferenceKernel, workload, **run_kw)
+    actual = _transcript(Kernel, workload, **run_kw)
+    assert actual == golden
+    return golden
+
+
+# ------------------------------------------------------------ workloads
+
+
+def test_cancel_heavy_100k_transcript_identical():
+    """The issue's regression gate: 100k schedule/cancel short-horizon
+    timers produce the identical fired transcript on wheel and heap."""
+
+    def workload(k, fired):
+        rng = RngStreams(1234).stream("golden")
+        count = [0]
+        retries = []
+
+        def deliver(i):
+            fired.append((k.now, ("deliver", i)))
+            count[0] += 1
+            # Datagram pattern: every delivery arms a retry timeout in
+            # the wheel tier, then cancels it (ack arrived) — except a
+            # 1-in-64 straggler whose timeout is allowed to fire.
+            t = k.schedule(64.0 + rng.random() * 400.0, miss, i)
+            if rng.random() < 1.0 / 64.0:
+                retries.append(t)
+            else:
+                t.cancel()
+            if count[0] < 100_000:
+                k.post(rng.random() * 2.0, deliver, count[0])
+
+        def miss(i):
+            fired.append((k.now, ("miss", i)))
+
+        k.schedule(0.0, deliver, 0)
+
+    golden = _assert_identical(workload)
+    kinds = {tag[0] for _, tag in golden}
+    assert kinds == {"deliver", "miss"}  # stragglers really fired
+    assert len(golden) > 100_000
+
+
+def test_mixed_tier_fuzz_transcript_identical():
+    """Randomized schedule/cancel/post across all three tiers (near,
+    wheel, overflow) with re-entrant scheduling from callbacks."""
+
+    def workload(k, fired):
+        rng = RngStreams(99).stream("fuzz")
+        handles = []
+
+        def fire(i):
+            fired.append((k.now, i))
+            r = rng.random()
+            if r < 0.55:
+                # Delays straddle the tier boundaries: sub-slot, wheel
+                # range, and past the 32.768 s horizon.
+                delay = rng.choice(
+                    [0.0, 1.5, 63.9, 64.0, 65.0, 640.0, 4_000.0,
+                     32_768.0, 40_000.0, 100_000.0])
+                handles.append(k.schedule(delay, fire, i + 1))
+            elif r < 0.75:
+                k.post(rng.random() * 300.0, fire, -i)
+            if handles and r > 0.9:
+                handles.pop(int(r * 1000) % len(handles)).cancel()
+
+        for i in range(200):
+            k.schedule(rng.random() * 70_000.0, fire, 1000 + i)
+
+        def storm():
+            doomed = [k.schedule(200.0 + (i % 37), fire, 10_000 + i)
+                      for i in range(500)]
+            for t in doomed[::2]:
+                t.cancel()
+
+        k.schedule(5.0, storm)
+
+    _assert_identical(workload, until=500_000.0)
+
+
+def test_same_instant_cross_tier_ties_fire_in_schedule_order():
+    """Events landing at one instant from different tiers (wheel drain
+    vs near heap) still fire in scheduling order."""
+
+    def workload(k, fired):
+        def tag(x):
+            fired.append((k.now, x))
+
+        k.schedule(128.0, tag, "wheel-first")   # wheel tier
+        k.post(128.0, tag, "near-post")         # near tier, same time
+        k.schedule(128.0, tag, "wheel-second")  # wheel tier again
+        k.schedule(1.0, tag, "early")
+        # A timer scheduled *from a callback* for the same instant.
+        k.schedule(64.0, lambda: k.schedule(64.0, tag, "nested"))
+
+    golden = _assert_identical(workload)
+    assert [tag for _, tag in golden] == [
+        "early", "wheel-first", "near-post", "wheel-second", "nested"]
+
+
+def test_run_until_boundary_inside_wheel_slot():
+    """Stopping mid-slot must not lose or reorder bucketed timers."""
+
+    def workload(k, fired):
+        for i in range(10):
+            k.schedule(100.0 + i, fired.append, (100.0 + i, i))
+
+    golden = _transcript(ReferenceKernel, workload, until=104.5)
+    actual = _transcript(Kernel, workload, until=104.5)
+    assert actual == golden
+    assert len(actual) == 5
+
+    # And the remainder fires on the next run.
+    k = Kernel()
+    fired = []
+    workload(k, fired)
+    k.run(until=104.5)
+    assert k.now == 104.5
+    k.run()
+    assert fired == [(100.0 + i, i) for i in range(10)]
+
+
+@pytest.mark.parametrize("delay", [64.0, 100.0, 5_000.0, 40_000.0])
+def test_wheel_tier_timers_cancel_without_heap_traffic(delay):
+    """Cancelled timeout-class timers are dropped at drain time; the
+    near heap never sees them (the whole point of the wheel tier)."""
+    k = Kernel()
+    fired = []
+    for i in range(1_000):
+        k.schedule(delay, fired.append, i).cancel()
+    assert k.pending == 0
+    survivor = k.schedule(delay, fired.append, "live")
+    k.run()
+    assert fired == ["live"]
+    assert not survivor.active

@@ -105,6 +105,14 @@ def fixture_tree(tmp_path: Path) -> Path:
             system.run_for(1.0)                # obs-readonly
             return recorder
         """)
+    _write(tmp_path, "core/bookkeeping.py", """
+        class OutcomeLedger:
+            def __init__(self):
+                self.outcomes = {}
+
+            def on_complete(self, tid, outcome):
+                self.outcomes[tid] = outcome   # unbounded-growth
+        """)
     return tmp_path
 
 
@@ -112,6 +120,7 @@ ALL_RULES = {
     "wallclock", "unseeded-random", "no-environ", "unordered-iteration",
     "consumed-fire-and-forget", "message-handlers", "lazy-log-force",
     "costmodel-attrs", "chaos-oracle-readonly", "obs-readonly",
+    "unbounded-growth",
 }
 
 
@@ -338,3 +347,82 @@ def test_obs_readonly_exempts_scenario_driver(tmp_path):
         """)
     report = run_lint(root=tmp_path, rule_ids=["obs-readonly"])
     assert report.findings == []
+
+
+def test_unbounded_growth_flags_grow_only_container(tmp_path):
+    _write(tmp_path, "core/ledger.py", """
+        class Ledger:
+            def __init__(self):
+                self.seen = set()
+                self.rows = []
+
+            def on_event(self, tid):
+                self.seen.add(tid)
+                self.rows.append(tid)
+        """)
+    report = run_lint(root=tmp_path, rule_ids=["unbounded-growth"])
+    assert {f.key for f in report.findings} == {"Ledger.seen", "Ledger.rows"}
+
+
+def test_unbounded_growth_any_shrink_suppresses(tmp_path):
+    _write(tmp_path, "core/pruned.py", """
+        class Pruned:
+            def __init__(self):
+                self.tombstones = {}
+                self.retired = []
+                self.live = set()
+
+            def on_complete(self, tid, outcome):
+                self.tombstones[tid] = outcome
+                self.retired.append(tid)
+                self.live.add(tid)
+
+            def expire(self, tid):
+                self.tombstones.pop(tid, None)
+                self.live.discard(tid)
+
+            def sweep(self):
+                self.retired = [t for t in self.retired if t.alive]
+        """)
+    report = run_lint(root=tmp_path, rule_ids=["unbounded-growth"])
+    assert report.findings == []
+
+
+def test_unbounded_growth_ignores_init_and_delegation(tmp_path):
+    _write(tmp_path, "core/clean.py", """
+        class Clean:
+            def __init__(self, diskman, names):
+                self.diskman = diskman
+                self.names = []
+                for n in names:
+                    self.names.append(n)      # construction, not growth
+
+            def on_update(self, record):
+                # Delegation: diskman is a component, not a container.
+                self.diskman.append(record)
+        """)
+    report = run_lint(root=tmp_path, rule_ids=["unbounded-growth"])
+    assert report.findings == []
+
+
+def test_unbounded_growth_subscript_assignment_counts(tmp_path):
+    _write(tmp_path, "core/subscripted.py", """
+        class ByKey:
+            def __init__(self):
+                self.index = {}
+
+            def on_event(self, key, value):
+                self.index[key] = value
+
+        class ByKeyDeleted:
+            def __init__(self):
+                self.index = {}
+
+            def on_event(self, key, value):
+                self.index[key] = value
+
+            def forget(self, key):
+                del self.index[key]
+        """)
+    report = run_lint(root=tmp_path, rule_ids=["unbounded-growth"])
+    assert {f.key for f in report.findings} == {"ByKey.index"}
