@@ -264,11 +264,16 @@ def test_figure_regeneration_speedup():
     _results["figure2_jobs4_wall_s"] = round(timings["figure2"][1], 3)
     _results["parallel_speedup"] = round(speedup, 2)
     _results["parallel_speedup_cpus"] = os.cpu_count() or 1
-    if (os.cpu_count() or 1) >= 2:
+    cpus = os.cpu_count() or 1
+    if cpus >= 2:
         assert speedup >= PARALLEL_SPEEDUP_FLOOR, (
             f"warm pool regenerates the figure suite only {speedup:.2f}x "
-            f"faster than serial on {os.cpu_count()} CPUs; the floor is "
+            f"faster than serial on {cpus} CPUs; the floor is "
             f"{PARALLEL_SPEEDUP_FLOOR}x")
+    else:
+        # parallel_speedup_cpus above still records the machine shape,
+        # so a skipped gate is visible in the artifact, not silent.
+        emit(f"parallel_speedup gate skipped ({cpus} cpus)")
 
 
 def test_open_loop_throughput_and_memory():

@@ -42,7 +42,7 @@ class BoundaryMonitor:
     def before_fire(self, time, seq, fn, args) -> None:
         if getattr(fn, "__func__", None) is Lan._arrive:
             # args = (src, dst, payload, deliver)
-            self.arrivals.append((round(time, 3), args[1]))
+            self.arrivals.append((round(time, 3), args[1]))  # lint: bounded(reset per exploration run)
 
 
 def golden_boundaries(spec) -> List[float]:

@@ -36,7 +36,7 @@ from repro.core.effects import (
     Trace,
     WriteLog,
 )
-from repro.core.messages import FamilyAbort, FamilyAbortAck
+from repro.core.messages import FamilyAbort, FamilyAbortAck, ProtocolMessage
 from repro.core.outcomes import Outcome
 from repro.core.tid import TID
 from repro.log.records import abort_record
@@ -89,7 +89,7 @@ class AbortInitiator:
                                               known_sites=msg_sites))
                 for dst in sorted(dsts)]
 
-    def on_message(self, msg) -> Effects:
+    def on_message(self, msg: ProtocolMessage) -> Effects:
         if isinstance(msg, FamilyAbortAck):
             return self._on_ack(msg)
         if isinstance(msg, FamilyAbort):
@@ -107,7 +107,7 @@ class AbortInitiator:
     def _on_ack(self, msg: FamilyAbortAck) -> Effects:
         if self.state is not AbortInitiatorState.SPREADING:
             return []
-        self.acked.add(msg.sender)
+        self.acked.add(msg.sender)  # lint: bounded(per-abort machine, discarded on resolve)
         if self.known_sites <= self.acked:
             effects: Effects = [CancelTimer(ABORT_ACK_TIMER)]
             effects.extend(self._finish())

@@ -81,6 +81,7 @@ from repro.core.messages import (
     NbStateReport,
     NbStateRequest,
     NbVote,
+    ProtocolMessage,
 )
 from repro.core.outcomes import Outcome, Vote
 from repro.core.quorum import QuorumSpec
@@ -128,7 +129,6 @@ class NbCoordinatorState(Enum):
     FORCING_REPLICATION = "forcing_replication"
     REPLICATING = "replicating"
     NOTIFYING = "notifying"
-    ABORTED = "aborted"
     DONE = "done"
 
 
@@ -216,7 +216,7 @@ class NbCoordinator:
             return self._enter_collecting()
         if (token == NB_REPL_FORCE
                 and self.state is NbCoordinatorState.FORCING_REPLICATION):
-            self.replicated.add(self.site)
+            self.replicated.add(self.site)  # lint: bounded(per-txn machine, discarded whole)
             return self._start_replication_round()
         return []
 
@@ -237,7 +237,7 @@ class NbCoordinator:
 
     # ------------------------------------------------------------ inputs
 
-    def on_message(self, msg) -> Effects:
+    def on_message(self, msg: ProtocolMessage) -> Effects:
         if isinstance(msg, NbVote):
             return self._on_vote(msg)
         if isinstance(msg, NbReplicateAck):
@@ -255,7 +255,7 @@ class NbCoordinator:
                 or msg.sender not in self.subordinates
                 or msg.sender in self.votes):
             return []
-        self.votes[msg.sender] = msg.vote
+        self.votes[msg.sender] = msg.vote  # lint: bounded(per-txn machine, discarded whole)
         if msg.vote is Vote.NO:
             return self._decide_abort()
         return self._maybe_decide()
@@ -365,7 +365,7 @@ class NbCoordinator:
             return []
         if msg.sender not in self.notify_targets or msg.sender in self.outcome_acks:
             return []
-        self.outcome_acks.add(msg.sender)
+        self.outcome_acks.add(msg.sender)  # lint: bounded(per-txn machine, discarded whole)
         if len(self.outcome_acks) == len(self.notify_targets):
             effects: Effects = [CancelTimer(NB_NOTIFY_TIMER)]
             effects.extend(self._finish())
@@ -471,7 +471,7 @@ class NbCoordinator:
         if self.replication_sent:
             raise NbProtocolViolation(
                 f"{self.tid}: unilateral abort after replication began")
-        if self.state in (NbCoordinatorState.ABORTED, NbCoordinatorState.DONE):
+        if self.state is NbCoordinatorState.DONE:
             return []
         self.state = NbCoordinatorState.DONE
         self.outcome = Outcome.ABORTED
@@ -622,7 +622,7 @@ class NbSubordinate:
 
     # ------------------------------------------------------------ inputs
 
-    def on_message(self, msg) -> Effects:
+    def on_message(self, msg: ProtocolMessage) -> Effects:
         if isinstance(msg, NbPrepare):
             return self._on_duplicate_prepare()
         if isinstance(msg, NbReplicate):
@@ -822,7 +822,7 @@ class NbTakeover:
             # Crash recovery found our own outcome but no end record:
             # just re-notify everyone else until they all acknowledge.
             self.decided_by_peer = True  # quorum evidence is in the log
-            self.outcome_acks.add(self.site)
+            self.outcome_acks.add(self.site)  # lint: bounded(per-takeover machine, discarded on resolve)
             return self._decide(Outcome.COMMITTED if own == "committed"
                                 else Outcome.ABORTED)
         return self._new_round()
@@ -843,7 +843,7 @@ class NbTakeover:
 
     # ------------------------------------------------------------ inputs
 
-    def on_message(self, msg) -> Effects:
+    def on_message(self, msg: ProtocolMessage) -> Effects:
         if isinstance(msg, NbStateReport):
             return self._on_report(msg)
         if isinstance(msg, NbReplicateAck):
@@ -859,7 +859,7 @@ class NbTakeover:
     def _on_report(self, msg: NbStateReport) -> Effects:
         if self.state is not NbTakeoverState.POLLING:
             return []
-        self.reports[msg.sender] = msg.status
+        self.reports[msg.sender] = msg.status  # lint: bounded(per-takeover machine, discarded on resolve)
         if msg.status == "replicated":
             self.replicated.add(msg.sender)
             if msg.decision_data:

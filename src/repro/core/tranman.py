@@ -161,7 +161,7 @@ class TransactionManager:
     # ------------------------------------------------------------ wiring
 
     def register_server(self, server: Any) -> None:
-        self.servers[server.name] = server
+        self.servers[server.name] = server  # lint: bounded(bounded by the site's server count)
 
     def _family_lock(self, family: str) -> SimLock:
         lock = self.family_locks.get(family)

@@ -40,7 +40,7 @@ notifications; outputs are :mod:`repro.core.effects`.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.core.effects import (
     CancelTimer,
@@ -64,6 +64,7 @@ from repro.core.messages import (
     CommitNotice,
     InquiryResponse,
     PrepareRequest,
+    ProtocolMessage,
     TxnInquiry,
     VoteResponse,
 )
@@ -94,7 +95,6 @@ class SubordinateState(Enum):
     PREPARED = "prepared"
     COMMITTING = "committing"
     COMMITTED = "committed"
-    ABORTED = "aborted"
     HEURISTIC = "heuristic"
     DONE = "done"
 
@@ -163,7 +163,7 @@ class TwoPhaseCoordinator:
             return self._decide_abort()
         return self._maybe_decide()
 
-    def on_message(self, msg) -> Effects:
+    def on_message(self, msg: ProtocolMessage) -> Effects:
         if isinstance(msg, VoteResponse):
             return self._on_vote(msg)
         if isinstance(msg, CommitAck):
@@ -181,7 +181,7 @@ class TwoPhaseCoordinator:
             return []
         if msg.sender in self.votes:
             return []
-        self.votes[msg.sender] = msg.vote
+        self.votes[msg.sender] = msg.vote  # lint: bounded(per-txn machine, discarded whole)
         if msg.vote is Vote.NO:
             return self._decide_abort()
         return self._maybe_decide()
@@ -235,7 +235,7 @@ class TwoPhaseCoordinator:
             return []
         if msg.sender not in self.update_subs or msg.sender in self.acked:
             return []
-        self.acked.add(msg.sender)
+        self.acked.add(msg.sender)  # lint: bounded(per-txn machine, discarded whole)
         if len(self.acked) == len(self.update_subs):
             effects: Effects = [CancelTimer(ACK_TIMER)]
             effects.extend(self._finish_committed())
@@ -301,7 +301,7 @@ class TwoPhaseCoordinator:
 
     @classmethod
     def recovered(cls, tid: TID, site: str, pending_subs: Sequence[str],
-                  **kwargs) -> "TwoPhaseCoordinator":
+                  **kwargs: Any) -> "TwoPhaseCoordinator":
         """Rebuild a committed coordinator found in the log (COORD_COMMIT
         without END): it must keep notifying until every ack arrives."""
         coord = cls(tid, site, pending_subs, **kwargs)
@@ -396,7 +396,7 @@ class TwoPhaseSubordinate:
 
     # ------------------------------------------------------------ inputs
 
-    def on_message(self, msg) -> Effects:
+    def on_message(self, msg: ProtocolMessage) -> Effects:
         if isinstance(msg, PrepareRequest):
             return self._on_duplicate_prepare()
         if isinstance(msg, CommitNotice):
@@ -563,7 +563,7 @@ class TwoPhaseSubordinate:
 
     @classmethod
     def recovered(cls, tid: TID, site: str, coordinator: str,
-                  **kwargs) -> "TwoPhaseSubordinate":
+                  **kwargs: Any) -> "TwoPhaseSubordinate":
         """Rebuild a prepared subordinate found in the log (PREPARE with
         no outcome record): still blocked, must inquire."""
         sub = cls(tid, site, coordinator, **kwargs)

@@ -68,7 +68,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "ports/locks/WAL)")
     parser.add_argument("--verbose", action="store_true",
                         help="text format: also list baselined findings")
+    parser.add_argument("--emit-graphs", metavar="DIR", default=None,
+                        help="write extracted protocol transition graphs "
+                             "(one JSON spec + Graphviz .dot per machine) "
+                             "to DIR and exit")
     args = parser.parse_args(argv)
+
+    if args.emit_graphs is not None:
+        from repro.lint.engine import build_context
+        from repro.lint.flow.protograph import emit_graphs
+        if args.paths:
+            root = Path(args.paths[0])
+        else:
+            import repro
+            root = Path(repro.__file__).resolve().parent
+        written = emit_graphs(build_context(root), Path(args.emit_graphs))
+        for path in written:
+            print(path)
+        return 0
 
     rule_ids = ([r.strip() for r in args.rules.split(",") if r.strip()]
                 if args.rules else None)

@@ -70,6 +70,10 @@ class LintContext:
     costmodel_fields: Set[str] = field(default_factory=set)
     costmodel_methods: Set[str] = field(default_factory=set)
     fingerprint_covered: Optional[Set[str]] = None
+    # Cached whole-program model (built on demand by the flow rules via
+    # :func:`repro.lint.flow.flow_program`; typed loosely to keep the
+    # engine import-independent of the flow package).
+    flow: Optional[object] = None
 
     def sim_files(self) -> Iterable[FileInfo]:
         return (f for f in self.files if f.sim_scoped)

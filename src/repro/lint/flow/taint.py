@@ -1,0 +1,118 @@
+"""Interprocedural determinism taint (rule ``flow-determinism``).
+
+The per-file ``wallclock`` / ``unseeded-random`` / ``env-read`` rules
+flag nondeterministic primitives *inside* sim-scoped files.  What they
+cannot see is a helper one module away::
+
+    # analysis/util.py (not sim-scoped -> per-file rules stay silent)
+    def stamp() -> float:
+        return time.time()
+
+    # sim/kernel.py (sim-scoped)
+    self.t0 = stamp()          # nondeterminism smuggled in
+
+This analysis marks every function that *itself* reads a
+nondeterministic primitive (wall clock, global/unseeded RNG,
+environment), propagates the taint over the project call graph to a
+least fixed point, and then flags each call site in sim-scoped code
+whose resolved callee is tainted and lives in a module the per-file
+rules do not cover.  Each finding carries the full witness chain down
+to the primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.engine import LintContext
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import FuncNode, Program
+# The primitive vocabularies are shared with the per-file rules so the
+# two layers can never disagree about what "nondeterministic" means.
+from repro.lint.rules import _GLOBAL_RANDOM_FNS, _WALLCLOCK
+
+
+def _own_primitive(fn: FuncNode) -> Optional[str]:
+    """The nondeterministic primitive this function reads directly."""
+    for ref in fn.externals:
+        d = ref.dotted
+        if d in _WALLCLOCK:
+            return f"{d}()"
+        if d.startswith("random.") and ref.is_call \
+                and d.split(".", 1)[1] in _GLOBAL_RANDOM_FNS:
+            return f"{d}()"
+        if d in ("random.Random", "Random") and ref.is_call and ref.argless:
+            return "Random() without a seed"
+        if d == "os.getenv" or d.startswith(("os.environ", "os.environb")):
+            return d
+    return None
+
+
+# Witness: qname -> ("prim", detail) | ("call", callee_qname)
+_Why = Tuple[str, str]
+
+
+def _propagate(program: Program) -> Dict[str, _Why]:
+    tainted: Dict[str, _Why] = {}
+    for qname, fn in program.funcs.items():
+        prim = _own_primitive(fn)
+        if prim is not None:
+            tainted[qname] = ("prim", prim)
+    changed = True
+    while changed:
+        changed = False
+        for qname in program.funcs:
+            if qname in tainted:
+                continue
+            for callee in program.callees(qname):
+                if callee in tainted:
+                    tainted[qname] = ("call", callee)
+                    changed = True
+                    break
+    return tainted
+
+
+def chain(tainted: Dict[str, _Why], qname: str, limit: int = 12) -> str:
+    parts: List[str] = []
+    cur: Optional[str] = qname
+    for _ in range(limit):
+        if cur is None or cur not in tainted:
+            break
+        kind, detail = tainted[cur]
+        parts.append(cur.split("::")[-1])
+        if kind == "prim":
+            parts.append(detail)
+            cur = None
+        else:
+            cur = detail
+    return " -> ".join(parts)
+
+
+def run(ctx: LintContext, program: Program) -> List[Finding]:
+    tainted = _propagate(program)
+    out: List[Finding] = []
+    for fn in program.funcs.values():
+        if not fn.info.sim_scoped:
+            continue
+        for edge in fn.calls:
+            if edge.kind == "init":
+                init = program.class_method(edge.callee, "__init__")
+                callee = init if init is not None else None
+            else:
+                callee = edge.callee
+            if callee is None or callee not in tainted:
+                continue
+            callee_fn = program.funcs[callee]
+            if callee_fn.info.sim_scoped:
+                # In-scope primitives and helpers are the per-file
+                # rules' territory; flagging them here would duplicate
+                # every finding.
+                continue
+            witness = chain(tainted, callee)
+            out.append(ctx.finding(
+                fn.info, edge.node, "flow-determinism",
+                f"{fn.qname.split('::')[-1]} (sim-scoped) calls "
+                f"nondeterministic {witness}; route through the seeded "
+                f"RngStreams / virtual clock instead",
+                key=f"{fn.qname}->{callee}"))
+    return out

@@ -209,7 +209,8 @@ def scan_for_races(duration_ms: float = 4000.0) -> List[Finding]:
         system.kernel.monitor = detector
         app = system.application("a")
 
-        def workload(app=app, protocol=protocol):
+        def workload(app: Any = app,
+                     protocol: Any = protocol) -> Any:
             for i in range(3):
                 tid = yield from app.begin(protocol=protocol)
                 yield from app.write(tid, "server0@a", f"x{i}", i)

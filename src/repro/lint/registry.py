@@ -38,4 +38,5 @@ def rule(rule_id: str, doc: str = "") -> Callable[[RuleFn], RuleFn]:
 def all_rules() -> Dict[str, RuleFn]:
     """The registry, populated (imports the stock rules on first use)."""
     import repro.lint.rules  # noqa: F401  (registration side effect)
+    import repro.lint.flow.rules  # noqa: F401  (whole-program rules)
     return dict(_REGISTRY)

@@ -11,6 +11,7 @@ with wall clocks.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lint.engine import FileInfo, LintContext
@@ -641,14 +642,14 @@ _CONTAINER_CTORS = {"list", "dict", "set", "deque", "defaultdict",
                     "Counter", "OrderedDict"}
 
 
-def _container_attrs(cls: ast.ClassDef) -> Set[str]:
-    """Attributes assigned a container literal/constructor in __init__.
+def _container_attrs(cls: ast.ClassDef) -> Dict[str, ast.AST]:
+    """Attribute -> construction node for containers built in __init__.
 
     Distinguishes real containers (``self.pledges = set()``) from
     components that merely expose ``append``/``update`` methods
     (``self.diskman = diskman`` — delegation, not growth).
     """
-    attrs: Set[str] = set()
+    attrs: Dict[str, ast.AST] = {}
     for method in cls.body:
         if not isinstance(method, ast.FunctionDef) \
                 or method.name != "__init__":
@@ -674,8 +675,29 @@ def _container_attrs(cls: ast.ClassDef) -> Set[str]:
             for target in targets:
                 attr = _self_attr(target)
                 if attr is not None:
-                    attrs.add(attr)
+                    attrs.setdefault(attr, node)
     return attrs
+
+
+_BOUNDED_ACK = re.compile(r"#\s*lint:\s*bounded\(([^)]+)\)")
+
+
+def _bounded_ack(info: "FileInfo", *nodes: Optional[ast.AST]) -> bool:
+    """True when any of the given sites carries an inline
+    ``# lint: bounded(<reason>)`` acknowledgement on its source line.
+
+    The ack is accepted on the grow site or on the ``__init__``
+    construction line, and must name a reason — it is the inline
+    equivalent of a baseline entry's justification, kept next to the
+    code it describes so it cannot outlive a refactor silently.
+    """
+    for node in nodes:
+        lineno = getattr(node, "lineno", None)
+        if lineno is None or lineno > len(info.lines):
+            continue
+        if _BOUNDED_ACK.search(info.lines[lineno - 1]):
+            return True
+    return False
 
 
 @rule("unbounded-growth",
@@ -691,7 +713,10 @@ def check_unbounded_growth(ctx: LintContext) -> List[Finding]:
     reassignment outside ``__init__`` (``self.X = [...]``) counts as a
     shrink because the old contents are dropped.  Intentional grow-only
     state (config-gated history, per-site registries bounded by the
-    deployment size) belongs in the lint baseline with a justification.
+    deployment size) is acknowledged inline with
+    ``# lint: bounded(<reason>)`` on the grow site or the ``__init__``
+    construction line — preferred over a baseline entry because the
+    reason lives next to the code it excuses.
     """
     out: List[Finding] = []
     for info in ctx.sim_files():
@@ -737,6 +762,8 @@ def check_unbounded_growth(ctx: LintContext) -> List[Finding]:
                                     shrinks.add(attr)
             for attr, node in sorted(grows.items()):
                 if attr in shrinks or attr not in containers:
+                    continue
+                if _bounded_ack(info, node, containers.get(attr)):
                     continue
                 out.append(ctx.finding(
                     info, node, "unbounded-growth",

@@ -75,7 +75,7 @@ class StableStoreDirectory:
         store = self._stores.get(site)
         if store is None:
             store = StableStore(site)
-            self._stores[site] = store
+            self._stores[site] = store  # lint: bounded(one store per site)
         return store
 
     def sites(self) -> List[str]:

@@ -156,7 +156,7 @@ class LockHierarchy:
         self._levels: dict[int, int] = {}
 
     def register(self, lock: SimLock, level: int) -> SimLock:
-        self._levels[id(lock)] = level
+        self._levels[id(lock)] = level  # lint: bounded(one entry per static lock level)
         return lock
 
     def level_of(self, lock: SimLock) -> int:

@@ -55,7 +55,7 @@ class FailureInjector:
             self.log.append((self.kernel.now, "crash_noop", site_name))
             return
         self.tracer.record(self.kernel.now, "fail.crash", site=site_name)
-        self.log.append((self.kernel.now, "crash", site_name))
+        self.log.append((self.kernel.now, "crash", site_name))  # lint: bounded(bounded by scenario fault count)
         site.crash()
 
     def restart(self, site_name: str) -> None:

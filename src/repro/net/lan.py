@@ -83,7 +83,7 @@ class Lan:
     # ------------------------------------------------------ membership
 
     def register_site(self, name: str, site: Any) -> None:
-        self.sites[name] = site
+        self.sites[name] = site  # lint: bounded(one entry per site)
         self._group.setdefault(name, 0)
         self._nic_free.setdefault(name, 0.0)
 
@@ -166,7 +166,7 @@ class Lan:
         start = max(now, self._nic_free.get(src, 0.0))
         backlog = (start - now) / cycle if cycle > 0 else 0.0
         occupancy = cycle + self._send_jitter(backlog)
-        self._nic_free[src] = start + occupancy
+        self._nic_free[src] = start + occupancy  # lint: bounded(one float per site)
         return (start + occupancy) - now
 
     def unicast(self, src: str, dst: str, payload: Any, deliver: DeliverFn,

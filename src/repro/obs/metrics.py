@@ -48,7 +48,7 @@ class Gauge:
         self.samples: List[Tuple[float, float]] = []
 
     def set(self, time: float, value: float) -> None:
-        self.samples.append((time, value))
+        self.samples.append((time, value))  # lint: bounded(kept only when obs keep=True)
 
     @property
     def last(self) -> Optional[float]:
@@ -116,7 +116,7 @@ class Histogram:
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
         if len(self._exact) < self.EXACT_CAP:
-            self._exact.append(value)
+            self._exact.append(value)  # lint: bounded(kept only when obs keep=True)
 
     @property
     def mean(self) -> float:
@@ -166,18 +166,18 @@ class Registry:
 
     def counter(self, name: str) -> Counter:
         if name not in self.counters:
-            self.counters[name] = Counter(name)
+            self.counters[name] = Counter(name)  # lint: bounded(keyed by metric name)
         return self.counters[name]
 
     def gauge(self, name: str) -> Gauge:
         if name not in self.gauges:
-            self.gauges[name] = Gauge(name)
+            self.gauges[name] = Gauge(name)  # lint: bounded(keyed by metric name)
         return self.gauges[name]
 
     def histogram(self, name: str,
                   bounds: Sequence[float] = DEFAULT_BOUNDS) -> Histogram:
         if name not in self.histograms:
-            self.histograms[name] = Histogram(name, bounds)
+            self.histograms[name] = Histogram(name, bounds)  # lint: bounded(keyed by metric name)
         return self.histograms[name]
 
     def load_recorder(self, recorder) -> None:

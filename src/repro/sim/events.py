@@ -43,7 +43,7 @@ class SimEvent:
         if self.triggered:
             self._kernel.post_soon(fn, self.value)
         else:
-            self._callbacks.append(fn)
+            self._callbacks.append(fn)  # lint: bounded(event-scoped lifetime)
 
     def trigger(self, value: Any = None) -> None:
         """Fire the event, waking all current and future waiters."""

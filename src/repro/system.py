@@ -117,7 +117,7 @@ class CamelotSystem:
         runtime = SiteRuntime(site=site, nms=nms, comman=comman, dgram=dgram,
                               diskman=diskman, tranman=tranman,
                               servers=servers)
-        self.runtimes[name] = runtime
+        self.runtimes[name] = runtime  # lint: bounded(one runtime per site)
         if self.config.cost.checkpoint_interval > 0:
             site.spawn(self._checkpoint_loop(runtime),
                        f"{name}.checkpointer")
