@@ -229,6 +229,76 @@ def nonblocking_read_completion(n_subs: int,
     return StaticPath(f"NB read completion, {n_subs} subs", path.terms)
 
 
+# -------------------------------------------------------- paxos commit
+
+
+def paxos_update_completion(n_subs: int,
+                            cost: Optional[CostModel] = None,
+                            faults_tolerated: int = 0) -> StaticPath:
+    """Paxos Commit update at F faults tolerated (N = 2F+1 acceptors).
+
+    F=0 degenerates to optimized 2PC's exact path — the leader is the
+    sole acceptor, the subordinate's prepare force doubles as its
+    ballot-0 acceptance, and the leader's decision force is the
+    commitment point (Gray & Lamport §4: "with F=0, Paxos Commit is
+    essentially 2PC").  Each extra fault tolerated adds, per
+    subordinate, one vote fan-out datagram to the 2F extra acceptors,
+    their acceptance forces, and their phase-2b reports; the completion
+    path grows by one acceptor force + two datagrams per F on the
+    slowest instance's chain.
+    """
+    c = _c(cost)
+    terms = (_begin_and_ops(c, n_subs, write=True) + _commit_call(c)
+             + _local_vote_round(c))
+    if faults_tolerated:
+        terms += [PathTerm("log force (leader prepare)", 1, c.log_force)]
+    if n_subs:
+        terms += [
+            PathTerm("datagram (prepare)", 1, c.datagram),
+            PathTerm("subordinate vote round", 1, 2 * c.local_ipc),
+            PathTerm("log force (subordinate prepare)", 1, c.log_force),
+            PathTerm("datagram (vote / ballot-0 2a)", 1, c.datagram),
+        ]
+        if faults_tolerated:
+            terms += [
+                PathTerm("log force (acceptor acceptance)",
+                         faults_tolerated, c.log_force),
+                PathTerm("datagram (phase-2b report)",
+                         faults_tolerated, 2 * c.datagram),
+            ]
+    terms += [PathTerm("log force (leader decision)", 1, c.log_force)]
+    terms += _reply(c)
+    return StaticPath(
+        f"Paxos Commit update completion, {n_subs} subs, F="
+        f"{faults_tolerated}", terms)
+
+
+def paxos_update_critical(n_subs: int,
+                          cost: Optional[CostModel] = None,
+                          faults_tolerated: int = 0) -> StaticPath:
+    c = _c(cost)
+    path = paxos_update_completion(n_subs, c, faults_tolerated)
+    terms = list(path.terms)
+    if n_subs:
+        terms += [
+            PathTerm("datagram (outcome notice)", 1, c.datagram),
+            PathTerm("drop locks at subordinate", 1,
+                     c.local_oneway_message + c.drop_lock),
+        ]
+    return StaticPath(
+        f"Paxos Commit update critical, {n_subs} subs, F="
+        f"{faults_tolerated}", terms)
+
+
+def paxos_read_completion(n_subs: int,
+                          cost: Optional[CostModel] = None) -> StaticPath:
+    """Fully read-only Paxos Commit: votes need no durability, so the
+    path collapses to the same one message round as read-only 2PC."""
+    path = twophase_read_completion(n_subs, cost)
+    return StaticPath(f"Paxos Commit read completion, {n_subs} subs",
+                      path.terms)
+
+
 # -------------------------------------------------------------- counts
 
 
@@ -238,13 +308,14 @@ def path_counts(protocol: str, op: str, n_subs: int) -> Dict[str, int]:
     Returns {'log_forces': ..., 'datagrams': ...} for one transaction
     with ``n_subs`` subordinates.
     """
-    if protocol not in ("two_phase", "non_blocking"):
+    if protocol not in ("two_phase", "non_blocking", "paxos_commit"):
         raise ValueError(f"unknown protocol {protocol!r}")
     if op not in ("read", "write"):
         raise ValueError(f"unknown op {op!r} (expected 'read' or 'write')")
     if op == "read":
         return {"log_forces": 0, "datagrams": 2 if n_subs else 0}
-    if protocol == "two_phase":
+    if protocol in ("two_phase", "paxos_commit"):
+        # Paxos Commit at F=0 degenerates to optimized 2PC exactly.
         return {"log_forces": 2, "datagrams": 3 if n_subs else 0}
     return {"log_forces": 4, "datagrams": 5 if n_subs else 0}
 
@@ -268,6 +339,7 @@ def protocol_graph_counts(protocol: str) -> Dict[str, int]:
     pairs = {
         "two_phase": ("TwoPhaseCoordinator", "TwoPhaseSubordinate"),
         "non_blocking": ("NbCoordinator", "NbSubordinate"),
+        "paxos_commit": ("PcLeader", "PcParticipant"),
     }
     if protocol not in pairs:
         raise ValueError(f"unknown protocol {protocol!r}")

@@ -29,7 +29,11 @@ from repro.chaos.scenario import (
     ScenarioSpec,
     run_schedule,
 )
-from repro.chaos.schedule import FaultSchedule, random_schedules
+from repro.chaos.schedule import (
+    FaultSchedule,
+    leader_failover_schedules,
+    random_schedules,
+)
 from repro.chaos.shrinker import replay, shrink_schedule, write_repro
 from repro.chaos.bugs import BUGS
 
@@ -47,9 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of random schedules (default 50)")
     parser.add_argument("--seed", type=int, default=7,
                         help="base seed for random schedules (default 7)")
-    parser.add_argument("--mode", choices=("random", "systematic", "both"),
+    parser.add_argument("--mode",
+                        choices=("random", "systematic", "both", "failover"),
                         default="both",
-                        help="schedule source (default both)")
+                        help="schedule source (default both); failover "
+                             "sweeps coordinator crashes and "
+                             "crash-restarts through the commit window")
     parser.add_argument("--sites", default="a,b,c",
                         help="comma-separated site names (default a,b,c)")
     parser.add_argument("--settle", type=float, default=DEFAULT_SETTLE_MS,
@@ -93,6 +100,8 @@ def _explore(args: argparse.Namespace) -> int:
     if args.mode in ("systematic", "both"):
         schedules += systematic_schedules(
             spec, max_boundaries=args.max_boundaries)
+    if args.mode == "failover":
+        schedules += leader_failover_schedules(sites, spec.coordinator)
     print(f"chaos: {len(schedules)} schedule(s), protocol={args.protocol}, "
           f"sites={','.join(sites)}, seed={args.seed}, mode={args.mode}"
           + (f", bug={args.bug}" if args.bug else ""))

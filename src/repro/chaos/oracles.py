@@ -125,6 +125,9 @@ class OracleContext:
         for event in self.system.tracer.of_kind("nb.takeover_decided"):
             if event.detail.get("tid") in (tid, None):
                 out[f"takeover@{event.site}"] = event.detail["outcome"]
+        for event in self.system.tracer.of_kind("pc.election_decided"):
+            if event.detail.get("tid") in (tid, None):
+                out[f"election@{event.site}"] = event.detail["outcome"]
         for site in self.system.site_names():
             tomb = self.system.tranman(site).tombstones.get(tid)
             if tomb is not None:
@@ -276,16 +279,19 @@ def check_resolution(ctx: OracleContext) -> List[Violation]:
                 "transaction reached the commit protocol but no site "
                 "ever decided"))
         return out
-    if ctx.spec.protocol == "nb" and len(dead) * 2 < len(ctx.spec.sites) \
+    if ctx.spec.protocol in ("nb", "paxos") \
+            and len(dead) * 2 < len(ctx.spec.sites) \
             and ctx.all_writes_done():
-        # The §5 claim: a live majority always decides.  Machines
-        # notifying the dead minority may linger; decisions may not.
+        # The §5 claim (and Paxos Commit's F-fault-tolerance): a live
+        # majority always decides.  Machines notifying the dead
+        # minority may linger; decisions may not.
         for site in ctx.live_sites():
             if ctx.tombstone(site) is None:
                 out.append(Violation(
                     "resolution",
                     f"live site undecided despite a live majority under "
-                    f"the non-blocking protocol (dead: {sorted(dead)})",
+                    f"the {ctx.spec.protocol} protocol "
+                    f"(dead: {sorted(dead)})",
                     site=site))
     return out
 

@@ -28,7 +28,8 @@ from repro.mach.ipc import DeadCallError
 from repro.servers.application import TransactionAborted
 from repro.system import CamelotSystem
 
-PROTOCOLS = {"2pc": ProtocolKind.TWO_PHASE, "nb": ProtocolKind.NON_BLOCKING}
+PROTOCOLS = {"2pc": ProtocolKind.TWO_PHASE, "nb": ProtocolKind.NON_BLOCKING,
+             "paxos": ProtocolKind.PAXOS_COMMIT}
 
 # Orphan sweep fires at most orphan_timeout + sweep interval (30 s +
 # 7.5 s) after the transaction went idle; a few extra seconds cover the

@@ -23,7 +23,20 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.failures import FailureInjector
 
+# Kinds drawn by random_schedule.  This tuple is part of the seed
+# contract — appending to it would reshuffle every historical seed's
+# schedule — so composite/directed kinds live in EXTRA_KINDS instead.
 KINDS = ("crash", "restart", "partition", "heal", "loss")
+# Additional kinds for directed sweeps and hand-written schedules:
+# ``crash_restart`` is the atomic crash-then-recover fault (the site
+# comes back after ``delay`` and runs recovery mid-protocol);
+# ``duplicate`` turns on network message duplication.
+EXTRA_KINDS = ("crash_restart", "duplicate")
+ALL_KINDS = KINDS + EXTRA_KINDS
+
+# Default time-to-repair for crash_restart: long enough that every
+# retry/takeover timer at the survivors has fired at least once.
+DEFAULT_RESTART_DELAY_MS = 5_000.0
 
 
 @dataclass(frozen=True)
@@ -31,29 +44,44 @@ class FaultEvent:
     """One injected fault at one virtual instant."""
 
     time: float
-    kind: str                                    # one of KINDS
+    kind: str                                    # one of ALL_KINDS
     site: Optional[str] = None                   # crash / restart
     groups: Optional[Tuple[Tuple[str, ...], ...]] = None   # partition
-    probability: Optional[float] = None          # loss
+    probability: Optional[float] = None          # loss / duplicate
+    delay: Optional[float] = None                # crash_restart
 
     def __post_init__(self) -> None:
-        if self.kind not in KINDS:
+        if self.kind not in ALL_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
-        if self.kind in ("crash", "restart") and not self.site:
+        if self.kind in ("crash", "restart", "crash_restart") \
+                and not self.site:
             raise ValueError(f"{self.kind} event needs a site")
         if self.kind == "partition" and not self.groups:
             raise ValueError("partition event needs groups")
-        if self.kind == "loss" and self.probability is None:
-            raise ValueError("loss event needs a probability")
+        if self.kind in ("loss", "duplicate") and self.probability is None:
+            raise ValueError(f"{self.kind} event needs a probability")
+
+    @property
+    def restart_time(self) -> float:
+        """When a crash_restart's site comes back (== time otherwise)."""
+        if self.kind != "crash_restart":
+            return self.time
+        return self.time + (self.delay if self.delay is not None
+                            else DEFAULT_RESTART_DELAY_MS)
 
     def describe(self) -> str:
         if self.kind in ("crash", "restart"):
             return f"t={self.time:g} {self.kind}({self.site})"
+        if self.kind == "crash_restart":
+            return (f"t={self.time:g} crash_restart({self.site}, "
+                    f"back@{self.restart_time:g})")
         if self.kind == "partition":
             groups = "|".join(",".join(g) for g in self.groups or ())
             return f"t={self.time:g} partition({groups})"
         if self.kind == "loss":
             return f"t={self.time:g} loss(p={self.probability:g})"
+        if self.kind == "duplicate":
+            return f"t={self.time:g} duplicate(p={self.probability:g})"
         return f"t={self.time:g} heal"
 
     def to_json(self) -> Dict[str, Any]:
@@ -64,6 +92,8 @@ class FaultEvent:
             data["groups"] = [list(g) for g in self.groups]
         if self.probability is not None:
             data["probability"] = self.probability
+        if self.delay is not None:
+            data["delay"] = self.delay
         return data
 
     @staticmethod
@@ -76,6 +106,7 @@ class FaultEvent:
             groups=(tuple(tuple(g) for g in groups)
                     if groups is not None else None),
             probability=data.get("probability"),
+            delay=data.get("delay"),
         )
 
 
@@ -94,8 +125,11 @@ class FaultSchedule:
         return len(self.events)
 
     def horizon(self) -> float:
-        """Virtual time of the last event (0 for an empty schedule)."""
-        return self.events[-1].time if self.events else 0.0
+        """Virtual time of the last injected action (0 when empty); a
+        crash_restart's horizon is its restart instant."""
+        if not self.events:
+            return 0.0
+        return max(e.restart_time for e in self.events)
 
     def describe(self) -> str:
         body = "; ".join(e.describe() for e in self.events) or "(no faults)"
@@ -111,8 +145,13 @@ class FaultSchedule:
             elif event.kind == "partition":
                 injector.partition_at(event.time,
                                       [list(g) for g in event.groups])
+            elif event.kind == "crash_restart":
+                injector.crash_at(event.time, event.site)
+                injector.restart_at(event.restart_time, event.site)
             elif event.kind == "heal":
                 injector.heal_at(event.time)
+            elif event.kind == "duplicate":
+                injector.set_duplication_at(event.time, event.probability)
             else:
                 injector.set_loss_at(event.time, event.probability)
 
@@ -205,3 +244,38 @@ def random_schedules(sites: Sequence[str], seed: int,
     return [random_schedule(sites, seed * 1_000_003 + i,
                             label=f"random/{seed}/{i}")
             for i in range(count)]
+
+
+def leader_failover_schedules(
+        sites: Sequence[str],
+        coordinator: Optional[str] = None,
+        crash_times: Sequence[float] = (100.0, 130.0, 160.0, 200.0, 260.0),
+        restart_delay_ms: float = DEFAULT_RESTART_DELAY_MS,
+        duplicate_p: float = 0.25) -> List[FaultSchedule]:
+    """The leader-failover sweep: kill the coordinator inside the commit
+    window and let a backup finish the transaction.
+
+    For each crash instant three schedules are produced: the leader dies
+    for good (the survivors must elect and complete on their own), the
+    leader crash-restarts (its recovery and the backup's election race),
+    and the crash-restart under message duplication (every handler must
+    be duplicate-safe while the failover runs).
+    """
+    sites = list(sites)
+    leader = coordinator if coordinator is not None else sites[0]
+    out: List[FaultSchedule] = []
+    for t in crash_times:
+        out.append(FaultSchedule(
+            events=(FaultEvent(t, "crash", site=leader),),
+            label=f"failover/dead@{t:g}"))
+        out.append(FaultSchedule(
+            events=(FaultEvent(t, "crash_restart", site=leader,
+                               delay=restart_delay_ms),),
+            label=f"failover/restart@{t:g}"))
+        out.append(FaultSchedule(
+            events=(FaultEvent(60.0, "duplicate",
+                               probability=duplicate_p),
+                    FaultEvent(t, "crash_restart", site=leader,
+                               delay=restart_delay_ms)),
+            label=f"failover/dup+restart@{t:g}"))
+    return out

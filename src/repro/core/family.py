@@ -32,6 +32,10 @@ class TransactionDescriptor:
     # Remote sites this transaction (or its descendants) spread to,
     # merged from ComMan's response-message site lists.
     sites_used: Set[str] = field(default_factory=set)
+    # Which commit family TranMan spawns machines from at top-level
+    # commit: TWO_PHASE (TwoPhaseCoordinator/Subordinate), NON_BLOCKING
+    # (NbCoordinator/Subordinate), or PAXOS_COMMIT (PcLeader/
+    # PcParticipant, N=2F+1 acceptors).
     protocol: ProtocolKind = ProtocolKind.TWO_PHASE
     outcome: Optional[Outcome] = None
     # Children indices handed out so far (nested transactions).

@@ -183,6 +183,119 @@ class NbOutcomeAck(ProtocolMessage):
     """Acknowledges NbOutcome so the coordinator can stop resending."""
 
 
+# ------------------------------------------------------------ paxos commit
+
+
+@dataclass(frozen=True)
+class PcPrepare(ProtocolMessage):
+    """Paxos Commit prepare from the leader to a resource manager.
+
+    Carries the full configuration — site list and acceptor set — so a
+    participant (or a late acceptor) can reconstruct the instance layout
+    without further round trips.  The sender is the ballot-0 leader.
+    """
+
+    sites: Tuple[str, ...] = ()
+    acceptors: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PcVote(ProtocolMessage):
+    """A resource manager's vote for its own Paxos instance.
+
+    This *is* the ballot-0 phase-2a message, piggybacked on the prepare
+    round (Gray & Lamport's co-location optimization): the RM proposes
+    its own prepared/aborted value directly to every acceptor.  Carries
+    the configuration so an acceptor that never saw the prepare can
+    still participate.
+    """
+
+    vote: Vote = Vote.YES
+    leader: str = ""
+    sites: Tuple[str, ...] = ()
+    acceptors: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PcPhase2b(ProtocolMessage):
+    """An acceptor's phase-2b: it accepted ``votes`` at ``ballot``.
+
+    ``votes`` maps instances (RM site names) to vote values; ballot 0
+    carries a single instance (the voting RM's), an election's phase-2b
+    carries the candidate's whole value vector.
+    """
+
+    ballot: int = 0
+    votes: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def dedup_key(self) -> str:
+        instances = ",".join(inst for inst, _ in self.votes)
+        return (f"PcPhase2b:{self.tid}:{self.sender}:{self.ballot}:"
+                f"{instances}")
+
+
+@dataclass(frozen=True)
+class PcP1a(ProtocolMessage):
+    """Election phase-1a: a candidate leader asks every acceptor to
+    promise ``ballot``.  Carries the configuration for stateless
+    acceptor reconstruction after a crash-restart."""
+
+    ballot: int = 0
+    leader: str = ""
+    sites: Tuple[str, ...] = ()
+    acceptors: Tuple[str, ...] = ()
+
+    @property
+    def dedup_key(self) -> str:
+        return f"PcP1a:{self.tid}:{self.sender}:{self.ballot}"
+
+
+@dataclass(frozen=True)
+class PcP1b(ProtocolMessage):
+    """Phase-1b: the acceptor's promise (or nack when ``promised``
+    exceeds the asked ballot), with every acceptance it holds as
+    ``(instance, ballot, vote)`` triples."""
+
+    ballot: int = 0
+    promised: int = 0
+    accepted: Tuple[Tuple[str, int, str], ...] = ()
+
+    @property
+    def dedup_key(self) -> str:
+        return f"PcP1b:{self.tid}:{self.sender}:{self.ballot}"
+
+
+@dataclass(frozen=True)
+class PcP2a(ProtocolMessage):
+    """Election phase-2a: the candidate's value vector — one vote value
+    per instance, free instances filled with the abort value (any value
+    not provably chosen may be aborted)."""
+
+    ballot: int = 0
+    values: Tuple[Tuple[str, str], ...] = ()
+    leader: str = ""
+    sites: Tuple[str, ...] = ()
+    acceptors: Tuple[str, ...] = ()
+
+    @property
+    def dedup_key(self) -> str:
+        return f"PcP2a:{self.tid}:{self.sender}:{self.ballot}"
+
+
+@dataclass(frozen=True)
+class PcOutcome(ProtocolMessage):
+    """The decided outcome, sent by the leader (or a winning candidate)
+    to every resource manager."""
+
+    outcome: Outcome = Outcome.COMMITTED
+
+
+@dataclass(frozen=True)
+class PcOutcomeAck(ProtocolMessage):
+    """Acknowledges PcOutcome so the notifier can stop resending."""
+
+
 # ------------------------------------------------------------------ nested
 
 
@@ -221,5 +334,7 @@ ANY_MESSAGE = (
     TxnInquiry, InquiryResponse,
     NbPrepare, NbVote, NbReplicate, NbReplicateAck, NbAbortJoin,
     NbAbortJoinAck, NbOutcome, NbOutcomeAck, NbStateRequest, NbStateReport,
+    PcPrepare, PcVote, PcPhase2b, PcP1a, PcP1b, PcP2a, PcOutcome,
+    PcOutcomeAck,
     NestedCommit, FamilyAbort, FamilyAbortAck,
 )

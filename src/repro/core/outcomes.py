@@ -38,6 +38,7 @@ class ProtocolKind(str, Enum):
 
     TWO_PHASE = "two_phase"
     NON_BLOCKING = "non_blocking"
+    PAXOS_COMMIT = "paxos_commit"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -61,6 +61,21 @@ class QuorumSpec:
         return cls(n_sites=n_sites, commit_quorum=qc, abort_quorum=qa)
 
     @classmethod
+    def paxos(cls, n_acceptors: int) -> "QuorumSpec":
+        """Paxos Commit acceptor quorums: N = 2F+1 acceptors, any F+1 of
+        which form a quorum.  Even-sized acceptor sets are rejected at
+        configuration time — they pay an extra acceptor without raising
+        F, and two disjoint "majorities" of size F+1 would be possible.
+        """
+        if n_acceptors % 2 == 0:
+            raise ValueError(
+                f"paxos acceptor sets must be odd (N = 2F+1), got "
+                f"{n_acceptors}")
+        majority = n_acceptors // 2 + 1
+        return cls(n_sites=n_acceptors, commit_quorum=majority,
+                   abort_quorum=majority)
+
+    @classmethod
     def commit_weighted(cls, n_sites: int) -> "QuorumSpec":
         """Favour commit availability: Qc = 1 lets the coordinator alone
         reach the commit point (degenerates toward 2PC's behaviour);

@@ -74,11 +74,20 @@ from repro.core.messages import (
     NbStateRequest,
     NbVote,
     NestedCommit,
+    PcOutcome,
+    PcOutcomeAck,
+    PcP1a,
+    PcP1b,
+    PcP2a,
+    PcPhase2b,
+    PcPrepare,
+    PcVote,
     PrepareRequest,
     TxnInquiry,
     VoteResponse,
 )
 from repro.core.nonblocking import NbCoordinator, NbSubordinate, NbTakeover
+from repro.core.paxoscommit import PcCandidate, PcLeader, PcParticipant
 from repro.core.outcomes import Outcome, ProtocolKind, TwoPhaseVariant, Vote
 from repro.core.quorum import QuorumSpec
 from repro.core.tid import TID, TidGenerator
@@ -119,7 +128,8 @@ class TransactionManager:
         self.family_locks: Dict[str, SimLock] = {}
         self.tid_gen = TidGenerator(site.name)
         self.machines: Dict[TID, Any] = {}
-        self.takeovers: Dict[TID, NbTakeover] = {}
+        # Termination-protocol machines: NbTakeover or PcCandidate.
+        self.takeovers: Dict[TID, Any] = {}
         self.tombstones: Dict[str, Outcome] = {}
         self.pledges: Set[str] = set()
         # TIDs this site answered READ_ONLY for: a retried prepare must
@@ -383,6 +393,20 @@ class TransactionManager:
                 # the family sat idle here; the coordinator must then
                 # refuse to drive a commit (see on_local_prepared).
                 already_pledged=str(tid) in self.pledges)
+        elif protocol is ProtocolKind.PAXOS_COMMIT:
+            # Acceptors are the leader-first odd prefix of the site list
+            # (N = 2F+1): two sites degenerate to F=0 (leader is the
+            # sole acceptor, 2PC's exact cost profile), three sites give
+            # F=1, and so on.
+            all_sites = [self.site.name] + subordinates
+            n_acceptors = (len(all_sites) if len(all_sites) % 2
+                           else len(all_sites) - 1)
+            machine = PcLeader(
+                tid, self.site.name, subordinates,
+                acceptors=all_sites[:n_acceptors],
+                quorum=QuorumSpec.paxos(n_acceptors),
+                vote_timeout_ms=self.cost.protocol_timeout,
+                notify_timeout_ms=self.cost.protocol_timeout)
         else:
             machine = TwoPhaseCoordinator(
                 tid, self.site.name, subordinates, variant=variant,
@@ -464,11 +488,17 @@ class TransactionManager:
         takeover = self.takeovers.get(tid)
         if takeover is not None and isinstance(
                 pmsg, (NbStateReport, NbReplicateAck, NbAbortJoinAck,
-                       NbOutcomeAck)):
+                       NbOutcomeAck, PcP1b, PcOutcomeAck)):
             yield from self._execute(takeover, takeover.on_message(pmsg))
             return
         machine = self.machines.get(tid)
-        if isinstance(pmsg, NbOutcome):
+        if isinstance(pmsg, PcPhase2b) and pmsg.ballot != 0 \
+                and takeover is not None:
+            # Election-ballot 2bs belong to the candidate; ballot-0 2bs
+            # are the leader machine's prepare-round tally.
+            yield from self._execute(takeover, takeover.on_message(pmsg))
+            return
+        if isinstance(pmsg, (NbOutcome, PcOutcome)):
             # Outcomes concern everyone at this site: participant machine,
             # takeover, or neither (tombstone ack).
             handled = False
@@ -523,6 +553,17 @@ class TransactionManager:
                     f"{tomb} at {self.site.name}")
             self.dgram.send(pmsg.sender,
                             NbOutcomeAck(tid=tid, sender=self.site.name))
+        elif isinstance(pmsg, PcPrepare):
+            yield from self._stateless_prepare_pc(pmsg, tomb)
+        elif isinstance(pmsg, (PcVote, PcP1a, PcP2a)):
+            yield from self._stateless_pc_acceptor(pmsg, tomb)
+        elif isinstance(pmsg, PcOutcome):
+            if tomb is not None and tomb is not pmsg.outcome:
+                raise AssertionError(
+                    f"{tid}: outcome {pmsg.outcome} conflicts with "
+                    f"tombstone {tomb} at {self.site.name}")
+            self.dgram.send(pmsg.sender,
+                            PcOutcomeAck(tid=tid, sender=self.site.name))
         elif isinstance(pmsg, NestedCommit):
             self._on_nested_commit(pmsg)
         elif isinstance(pmsg, FamilyAbort):
@@ -530,7 +571,8 @@ class TransactionManager:
         elif isinstance(pmsg, (VoteResponse, NbVote, CommitAck,
                                NbReplicateAck, NbAbortJoinAck, NbOutcomeAck,
                                NbStateReport, FamilyAbortAck,
-                               InquiryResponse)):
+                               InquiryResponse, PcPhase2b, PcP1b,
+                               PcOutcomeAck)):
             pass  # stale response to a machine that already finished
         else:
             raise ValueError(f"unhandled datagram payload {pmsg!r}")
@@ -657,6 +699,89 @@ class TransactionManager:
         self.dgram.send(pmsg.sender,
                         NbStateReport(tid=tid, sender=self.site.name,
                                       status=status, round=pmsg.round))
+
+    def _stateless_prepare_pc(self, pmsg: PcPrepare, tomb: Optional[Outcome]
+                              ) -> Generator[Any, Any, None]:
+        tid = pmsg.tid
+        if tomb is Outcome.COMMITTED:
+            # Already resolved here; the leader only wants the ack.
+            self.dgram.send(pmsg.sender,
+                            PcOutcomeAck(tid=tid, sender=self.site.name))
+            return
+        if str(tid) in self.read_only_votes:
+            # Re-vote read-only to the same targets the live machine
+            # would use: every acceptor (the instance still needs an
+            # acceptor quorum) plus the leader.
+            targets = [a for a in pmsg.acceptors if a != self.site.name]
+            if pmsg.sender not in targets:
+                targets.append(pmsg.sender)
+            for dst in targets:
+                self.dgram.send(dst, PcVote(
+                    tid=tid, sender=self.site.name, vote=Vote.READ_ONLY,
+                    leader=pmsg.sender, sites=pmsg.sites,
+                    acceptors=pmsg.acceptors))
+            return
+        if tomb is Outcome.ABORTED:
+            # Already decided abort here: tell the leader outright.
+            self.dgram.send(pmsg.sender,
+                            PcOutcome(tid=tid, sender=self.site.name,
+                                      outcome=Outcome.ABORTED))
+            return
+        if self.families.family_of(tid) is None:
+            # No state: we may have voted READ_ONLY (volatile) before a
+            # crash, and an RM must never propose two different ballot-0
+            # values — a NO here could diverge from an instance that
+            # already chose read-only.  Stay silent; the leader's
+            # timeout (F=0) or an election (F>=1) resolves the
+            # un-proposed instance to abort safely.
+            return
+        sub = PcParticipant(tid, self.site.name, pmsg.sender,
+                            list(pmsg.sites), list(pmsg.acceptors),
+                            QuorumSpec.paxos(len(pmsg.acceptors)),
+                            protocol_timeout_ms=self.cost.protocol_timeout)
+        self.machines[tid] = sub
+        yield from self._execute(sub, sub.start())
+
+    def _stateless_pc_acceptor(self, pmsg: Any, tomb: Optional[Outcome]
+                               ) -> Generator[Any, Any, None]:
+        """A Paxos message reached an acceptor site with no machine: a
+        crash-restarted (or long-forgotten read-only) acceptor.  Rebuild
+        an acceptor-only participant from the message's configuration —
+        every Pc message carries it — and deliver."""
+        tid = pmsg.tid
+        if tomb is not None:
+            # The outcome is known here: short-circuit the election.
+            self.dgram.send(pmsg.sender,
+                            PcOutcome(tid=tid, sender=self.site.name,
+                                      outcome=tomb))
+            return
+        if self.site.name not in pmsg.acceptors:
+            return  # stale / misrouted: we owe no acceptor duties
+        if self.families.family_of(pmsg.tid) is not None:
+            # Live family state means this site never crashed — the
+            # acceptor traffic merely overtook the leader's PcPrepare on
+            # the wire.  Spawn the full participant (it prepares and
+            # votes like the PcPrepare path would) and let it answer
+            # the acceptor duty that arrived early.
+            sub = PcParticipant(tid, self.site.name,
+                                pmsg.leader or pmsg.sender,
+                                list(pmsg.sites), list(pmsg.acceptors),
+                                QuorumSpec.paxos(len(pmsg.acceptors)),
+                                protocol_timeout_ms=self.cost.protocol_timeout)
+            self.machines[tid] = sub
+            yield from self._execute(sub, sub.start())
+            yield from self._execute(sub, sub.on_message(pmsg))
+            return
+        sub = PcParticipant.recovered(
+            tid, self.site.name, leader=pmsg.leader or pmsg.sender,
+            sites=list(pmsg.sites), acceptors=list(pmsg.acceptors),
+            prepared=False,
+            protocol_timeout_ms=self.cost.protocol_timeout)
+        self.machines[tid] = sub
+        self.tracer.record(self.kernel.now, "pc.acceptor_rebuilt",
+                           site=self.site.name, tid=str(tid),
+                           kind_of=type(pmsg).__name__)
+        yield from self._execute(sub, sub.on_message(pmsg))
 
     def _on_nested_commit(self, pmsg: NestedCommit) -> None:
         tid = pmsg.tid
@@ -967,6 +1092,20 @@ class TransactionManager:
         if tid in self.takeovers:
             return
         sub = self.machines.get(tid)
+        if isinstance(sub, (PcParticipant, PcLeader)):
+            # Paxos Commit termination: run the leader election.  The
+            # leader itself lands here too, when votes never arrive and
+            # unilateral abort would be unsafe (F >= 1).
+            candidate = PcCandidate(
+                tid, self.site.name, sub.sites, sub.acceptors, sub.quorum,
+                poll_timeout_ms=self.cost.protocol_timeout / 2,
+                notify_timeout_ms=self.cost.protocol_timeout)
+            self.takeovers[tid] = candidate
+            self.tracer.record(self.kernel.now, "tranman.takeover",
+                               site=self.site.name, tid=str(tid),
+                               status="paxos_election")
+            yield from self._execute(candidate, candidate.start())
+            return
         if not isinstance(sub, NbSubordinate):
             return
         status, data = sub.status_report()
@@ -998,7 +1137,7 @@ class TransactionManager:
                                 resume_effects: Sequence[Effect]) -> None:
         """Install a machine rebuilt by crash recovery and run its
         resumption effects."""
-        if isinstance(machine, NbTakeover):
+        if isinstance(machine, (NbTakeover, PcCandidate)):
             self.takeovers[machine.tid] = machine
         else:
             self.machines[machine.tid] = machine

@@ -58,6 +58,8 @@ _DURABLE_MESSAGES: Dict[str, Tuple[Optional[str], Set[str], bool]] = {
     "VoteResponse": ("vote", {"Vote.YES"}, True),
     "NbVote": ("vote", {"Vote.YES"}, True),
     "NbReplicateAck": ("ok", {"True"}, True),
+    "PcVote": ("vote", {"Vote.YES"}, True),
+    "PcOutcome": ("outcome", {"Outcome.COMMITTED"}, True),
 }
 
 

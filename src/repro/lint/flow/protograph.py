@@ -294,7 +294,8 @@ class _Delivery:
 _TRUTHY_TRUE = {"self.update_subs", "self.subordinates", "self.update_sites",
                 "targets", "remote", "self.notify_targets", "dsts",
                 "self.sites"}
-_TRUTHY_FALSE = {"self.use_multicast", "self.already_pledged"}
+_TRUTHY_FALSE = {"self.use_multicast", "self.already_pledged",
+                 "self.remote_acceptors"}
 _IN_TRUE = {"targets", "self.subordinates", "self.replication_targets",
             "self.sites", "self.update_sites"}
 _IN_FALSE = {"self.votes", "self.outcome_acks", "self.replicated"}
@@ -512,7 +513,7 @@ def happy_path_counts(program: Program, coord_name: str, sub_name: str,
                 m.started = True
                 method, d = "start", _Delivery(param=None)
             else:
-                if msg_cls in ("VoteResponse", "NbVote"):
+                if msg_cls in ("VoteResponse", "NbVote", "PcVote"):
                     m.votes_received += 1
                 if msg_cls == "NbReplicateAck":
                     m.replicated += 1
@@ -680,6 +681,7 @@ def _check_dispatch(ctx: LintContext, cls: ClassNode,
 _COUNT_PAIRS = (
     ("two_phase", "TwoPhaseCoordinator", "TwoPhaseSubordinate"),
     ("non_blocking", "NbCoordinator", "NbSubordinate"),
+    ("paxos_commit", "PcLeader", "PcParticipant"),
 )
 
 

@@ -135,6 +135,52 @@ def replication_record(tid: str, site: str, decision_data: Dict[str, Any]) -> Lo
                      size_bytes=160)
 
 
+def paxos_prepare_record(tid: str, site: str, leader: str,
+                         sites: list, acceptors: list) -> LogRecord:
+    """A Paxos Commit RM's prepared state.  At an acceptor site this
+    record doubles as the ballot-0 acceptance of the RM's own instance
+    (the co-location optimization): recovery rebuilds both roles from
+    it.  The ``acceptors`` key discriminates it from the non-blocking
+    protocol's prepare (which carries ``sites`` but never acceptors)."""
+    return LogRecord(kind=RecordKind.PREPARE, tid=tid, site=site,
+                     payload={"coordinator": leader,
+                              "sites": list(sites),
+                              "acceptors": list(acceptors)},
+                     size_bytes=144)
+
+
+def paxos_acceptor_record(tid: str, site: str, promised: int,
+                          accepted: list, leader: str = "",
+                          sites: Optional[list] = None,
+                          acceptors: Optional[list] = None) -> LogRecord:
+    """An acceptor's durable Paxos state: its promise and every
+    acceptance as ``[instance, ballot, vote]`` triples.  Forced before
+    the acceptor sends the matching phase-1b/phase-2b — an acceptor may
+    never retract what a quorum might already have counted.  Carries the
+    transaction's configuration so recovery can rebuild a pure-acceptor
+    site (one whose RM never prepared) from this record alone."""
+    return LogRecord(kind=RecordKind.REPLICATION, tid=tid, site=site,
+                     payload={"paxos": True, "promised": promised,
+                              "accepted": [list(a) for a in accepted],
+                              "leader": leader,
+                              "sites": list(sites or []),
+                              "acceptors": list(acceptors or [])},
+                     size_bytes=176)
+
+
+def paxos_decision_record(tid: str, site: str, update_subs: list,
+                          acceptors: list) -> LogRecord:
+    """The leader's (or a winning candidate's) commit decision: every
+    instance chose prepared at an acceptor quorum.  Forced before any
+    PcOutcome(COMMITTED) leaves the site; lists the RMs still owed the
+    outcome so recovery keeps notifying."""
+    return LogRecord(kind=RecordKind.COORD_COMMIT, tid=tid, site=site,
+                     payload={"protocol": "paxos_commit",
+                              "subordinates": list(update_subs),
+                              "acceptors": list(acceptors)},
+                     size_bytes=112)
+
+
 def abort_pledge_record(tid: str, site: str) -> LogRecord:
     """Non-blocking abort-quorum membership: a durable pledge never to
     join this transaction's commit quorum (forced before acknowledging

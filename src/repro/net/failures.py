@@ -97,6 +97,14 @@ class FailureInjector:
         self.log.append((self.kernel.now, "loss", probability))
         self.lan.loss_probability = probability
 
+    def set_duplication(self, probability: float) -> None:
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("duplication probability must be in [0, 1)")
+        self.tracer.record(self.kernel.now, "fail.duplicate",
+                           probability=probability)
+        self.log.append((self.kernel.now, "duplicate", probability))
+        self.lan.duplicate_probability = probability
+
     # -------------------------------------------------------- schedule
 
     def crash_at(self, time: float, site_name: str) -> None:
@@ -113,6 +121,9 @@ class FailureInjector:
 
     def set_loss_at(self, time: float, probability: float) -> None:
         self._at(time, self.set_loss, probability)
+
+    def set_duplication_at(self, time: float, probability: float) -> None:
+        self._at(time, self.set_duplication, probability)
 
     def _at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
         delay = time - self.kernel.now

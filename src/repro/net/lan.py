@@ -63,7 +63,9 @@ class Lan:
         self._nic_free: Dict[str, float] = {}
         self.in_flight = 0
         self.loss_probability = 0.0
+        self.duplicate_probability = 0.0
         self.delivered = 0
+        self.duplicated = 0
         self.dropped_loss = 0
         self.dropped_partition = 0
         self.dropped_dead = 0
@@ -155,6 +157,28 @@ class Lan:
             return False
         return self.rng.stream("lan.loss").random() < self.loss_probability
 
+    def _duplicate(self, src: str, dst: str, payload: Any,
+                   deliver: DeliverFn, base_delay: float) -> None:
+        """Maybe schedule a second arrival of the same datagram.
+
+        Models retransmission-induced duplication (a stale retry racing
+        its original): the copy trails the original by a fresh jitter
+        draw, so handlers see it after — possibly long after — the
+        first delivery was already processed.
+        """
+        if self.duplicate_probability <= 0:
+            return
+        if self.rng.stream("lan.duplicate").random() \
+                >= self.duplicate_probability:
+            return
+        self.duplicated += 1
+        self.in_flight += 1
+        self.tracer.record(self.kernel.now, "net.duplicated", site=src,
+                           dst=dst)
+        lag = self.cost.datagram + self._jitter()
+        self.kernel.post(base_delay + lag, self._arrive, src, dst,
+                         payload, deliver)
+
     def _serialize_send(self, src: str, cycle: float) -> float:
         """Reserve the sender NIC; returns the wire-entry delay from now.
 
@@ -206,6 +230,7 @@ class Lan:
                 obs.gauge(now, "lan.in_flight", self.in_flight)
         self.kernel.post(send_delay + transit, self._arrive, src, dst,
                          payload, deliver)
+        self._duplicate(src, dst, payload, deliver, send_delay + transit)
 
     def multicast(self, src: str, dsts: Sequence[str], payload_for: Callable[[str], Any],
                   deliver_for: Callable[[str], DeliverFn]) -> None:
@@ -240,9 +265,13 @@ class Lan:
                     obs.gauge(now, "lan.in_flight", self.in_flight)
                 self.kernel.post(send_delay + transit, self._arrive, src,
                                  dst, payload, deliver_for(dst))
+                self._duplicate(src, dst, payload, deliver_for(dst),
+                                send_delay + transit)
             else:
                 self.kernel.post(send_delay + transit, self._arrive, src,
                                  dst, payload_for(dst), deliver_for(dst))
+                self._duplicate(src, dst, payload_for(dst),
+                                deliver_for(dst), send_delay + transit)
 
     def _arrive(self, src: str, dst: str, payload: Any, deliver: DeliverFn) -> None:
         self.in_flight -= 1

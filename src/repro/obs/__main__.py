@@ -61,6 +61,12 @@ SCENARIOS = {
         protocol=ProtocolKind.NON_BLOCKING,
         static=lambda cost: sa.nonblocking_update_completion(1, cost),
         tolerance=0.15),
+    "paxos-update-1sub": dict(
+        title="Paxos Commit update, 1 subordinate (F=0: 2PC-degenerate)",
+        sites={"a": 1, "b": 1}, op="write",
+        protocol=ProtocolKind.PAXOS_COMMIT,
+        static=lambda cost: sa.paxos_update_completion(1, cost),
+        tolerance=0.10),
 }
 
 

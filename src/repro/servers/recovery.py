@@ -28,6 +28,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.nonblocking import NbSubordinate, NbSubState, NbTakeover
 from repro.core.outcomes import Outcome, Vote
+from repro.core.paxoscommit import PcLeader, PcParticipant
 from repro.core.quorum import QuorumSpec
 from repro.core.tid import TID
 from repro.core.twophase import TwoPhaseCoordinator, TwoPhaseSubordinate
@@ -39,13 +40,17 @@ class InDoubt:
     """One transaction whose outcome this site does not know."""
 
     tid: TID
-    protocol: str                      # "two_phase" | "non_blocking"
+    protocol: str            # "two_phase" | "non_blocking" | "paxos_commit"
     coordinator: str
     sites: List[str] = field(default_factory=list)
     quorum: Optional[Dict[str, int]] = None
     replicated: bool = False
     decision_data: Optional[Dict[str, Any]] = None
     pledged: bool = False
+    # Paxos Commit only: the acceptor set, and whether this site's RM
+    # prepared (False = acceptor duties only, e.g. a read-only RM).
+    acceptors: List[str] = field(default_factory=list)
+    prepared: bool = True
 
 
 @dataclass
@@ -56,6 +61,7 @@ class UnackedCommit:
     tid: TID
     protocol: str
     pending_subordinates: List[str] = field(default_factory=list)
+    acceptors: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -151,10 +157,30 @@ def analyze(site: str, records: Iterable[LogRecord]) -> RecoveryPlan:
             plan.pending_redo.setdefault(top, []).append((server, obj, new))
 
     # ------------------------------------------------------- in doubt
+    def acceptor_state(tid_str: str) -> Optional[Dict[str, Any]]:
+        rec = replications.get(tid_str)
+        if rec is None or not rec.payload.get("paxos"):
+            return None
+        return {"promised": rec.payload.get("promised", 0),
+                "accepted": rec.payload.get("accepted", [])}
+
     for tid_str, record in prepares.items():
         if tid_str in committed_top or tid_str in aborts or tid_str in ends:
             continue
         payload = record.payload
+        if "acceptors" in payload:
+            # Paxos Commit: the prepare record is also the ballot-0
+            # acceptance of this RM's own instance (co-location).
+            plan.in_doubt.append(InDoubt(
+                tid=TID.parse(tid_str),
+                protocol="paxos_commit",
+                coordinator=payload.get("coordinator", ""),
+                sites=list(payload.get("sites", [])),
+                acceptors=list(payload["acceptors"]),
+                decision_data=acceptor_state(tid_str),
+                replicated=tid_str in replications,
+            ))
+            continue
         is_nb = "sites" in payload
         entry = InDoubt(
             tid=TID.parse(tid_str),
@@ -170,12 +196,40 @@ def analyze(site: str, records: Iterable[LogRecord]) -> RecoveryPlan:
                 "decision_data")
         plan.in_doubt.append(entry)
 
+    # A Paxos acceptor record with no prepare record: this site's RM
+    # never voted YES (read-only, or never reached), but its acceptor
+    # made durable promises a quorum may have counted — those duties
+    # must survive the crash even though the RM side has nothing to say.
+    for tid_str, record in replications.items():
+        payload = record.payload
+        if not payload.get("paxos") or tid_str in prepares:
+            continue
+        if tid_str in committed_top or tid_str in aborts or tid_str in ends:
+            continue
+        plan.in_doubt.append(InDoubt(
+            tid=TID.parse(tid_str),
+            protocol="paxos_commit",
+            coordinator=payload.get("leader", ""),
+            sites=list(payload.get("sites", [])),
+            acceptors=list(payload.get("acceptors", [])),
+            decision_data=acceptor_state(tid_str),
+            replicated=True,
+            prepared=False,
+        ))
+
     # --------------------------------------------- unacked coordinator
     for tid_str, record in coord_commits.items():
         if tid_str in ends:
             continue
         subs = list(record.payload.get("subordinates", []))
-        if subs:
+        if record.payload.get("protocol") == "paxos_commit":
+            plan.unacked_commits.append(
+                UnackedCommit(tid=TID.parse(tid_str),
+                              protocol="paxos_commit",
+                              pending_subordinates=subs,
+                              acceptors=list(
+                                  record.payload.get("acceptors", []))))
+        elif subs:
             plan.unacked_commits.append(
                 UnackedCommit(tid=TID.parse(tid_str), protocol="two_phase",
                               pending_subordinates=subs))
@@ -187,6 +241,10 @@ def analyze(site: str, records: Iterable[LogRecord]) -> RecoveryPlan:
         record = prepares.get(tid_str)
         if record is None or "sites" not in record.payload:
             continue  # plain 2PC subordinate commit: nothing owed
+        if "acceptors" in record.payload:
+            # Paxos participant: its commit tombstone answers the
+            # leader's retransmitted outcome; nothing to spawn.
+            continue
         plan.unacked_commits.append(
             UnackedCommit(tid=TID.parse(tid_str), protocol="non_blocking",
                           pending_subordinates=[
@@ -207,6 +265,17 @@ def build_machines(plan: RecoveryPlan, site: str,
                 entry.tid, site, entry.coordinator,
                 outcome_timeout_ms=protocol_timeout_ms)
             out.append((sub, sub.resume_inquiry()))
+            continue
+        if entry.protocol == "paxos_commit":
+            acc = entry.decision_data or {}
+            pc = PcParticipant.recovered(
+                entry.tid, site, entry.coordinator, entry.sites,
+                entry.acceptors,
+                promised=int(acc.get("promised", 0)),
+                accepted=acc.get("accepted", ()),
+                prepared=entry.prepared,
+                protocol_timeout_ms=protocol_timeout_ms)
+            out.append((pc, pc.resume_inquiry()))
             continue
         quorum = QuorumSpec.from_dict(entry.quorum) if entry.quorum else \
             QuorumSpec.majority(max(1, len(entry.sites)))
@@ -238,6 +307,14 @@ def build_machines(plan: RecoveryPlan, site: str,
                 entry.tid, site, entry.pending_subordinates,
                 ack_timeout_ms=protocol_timeout_ms)
             out.append((coord, coord.resume_notifications()))
+        elif entry.protocol == "paxos_commit":
+            # Works for a crashed leader and a crashed winning candidate
+            # alike: the decision is durable, only notifications remain.
+            leader = PcLeader.recovered(
+                entry.tid, site,
+                [s for s in entry.pending_subordinates if s != site],
+                entry.acceptors, notify_timeout_ms=protocol_timeout_ms)
+            out.append((leader, leader.resume_notifications()))
         else:
             sites = [site] + [s for s in entry.pending_subordinates]
             takeover = NbTakeover(entry.tid, site, sites,

@@ -38,6 +38,15 @@ class TestCountCrossCheck:
         assert walked == path_counts("non_blocking", "write", n_subs=1)
         assert walked == {"log_forces": 4, "datagrams": 5}
 
+    def test_paxos_commit_matches_formula_and_degenerates_to_2pc(self):
+        """The F=0 acceptance gate: the PcLeader/PcParticipant graph
+        walk must price exactly like optimized 2PC — the degeneration is
+        verified from extracted source structure, not just measured."""
+        walked = protocol_graph_counts("paxos_commit")
+        assert walked == path_counts("paxos_commit", "write", n_subs=1)
+        assert walked == protocol_graph_counts("two_phase")
+        assert walked == {"log_forces": 2, "datagrams": 3}
+
     def test_unknown_protocol_rejected(self):
         import pytest
         with pytest.raises(ValueError):

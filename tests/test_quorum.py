@@ -56,6 +56,48 @@ def test_dict_roundtrip():
     assert QuorumSpec.from_dict(spec.to_dict()) == spec
 
 
+# --------------------------------------------------------- paxos commit
+
+
+def test_paxos_even_acceptor_set_rejected():
+    """N = 2F+1 is a config-time invariant: an even acceptor set has no
+    F and its 'majorities' waste a site, so it is rejected outright."""
+    for n in (2, 4, 6, 10):
+        with pytest.raises(ValueError, match="odd"):
+            QuorumSpec.paxos(n)
+
+
+def test_paxos_f0_is_a_single_acceptor():
+    spec = QuorumSpec.paxos(1)
+    assert spec.commit_quorum == 1 and spec.abort_quorum == 1
+
+
+def test_paxos_majority_sizes():
+    for f in range(6):
+        spec = QuorumSpec.paxos(2 * f + 1)
+        assert spec.commit_quorum == f + 1
+        assert spec.abort_quorum == f + 1
+
+
+def test_paxos_quorum_intersection_brute_force():
+    """Every pair of phase-1/phase-2 quorums shares an acceptor — the
+    property that lets a later candidate adopt a ballot-0 COMMITTED
+    vector instead of inventing an abort."""
+    from itertools import combinations
+    spec = QuorumSpec.paxos(5)
+    acceptors = ["a", "b", "c", "d", "e"]
+    for q1 in combinations(acceptors, spec.commit_quorum):
+        for q2 in combinations(acceptors, spec.commit_quorum):
+            assert set(q1) & set(q2)
+
+
+@given(st.integers(min_value=0, max_value=25))
+def test_paxos_quorums_always_intersect_property(f):
+    spec = QuorumSpec.paxos(2 * f + 1)
+    # Two disjoint quorums would need 2(F+1) > 2F+1 acceptors.
+    assert 2 * spec.commit_quorum > spec.n_sites
+
+
 @given(st.integers(min_value=1, max_value=50))
 def test_majority_always_valid_property(n):
     spec = QuorumSpec.majority(n)

@@ -9,6 +9,9 @@ from repro.log.records import (
     commit_record,
     coordinator_commit_record,
     end_record,
+    paxos_acceptor_record,
+    paxos_decision_record,
+    paxos_prepare_record,
     prepare_record,
     replication_record,
     update_record,
@@ -153,6 +156,79 @@ def test_build_machines_for_nb_in_doubt_spawns_takeover():
     machines = build_machines(plan, "b")
     names = sorted(type(m).__name__ for m, _ in machines)
     assert names == ["NbSubordinate", "NbTakeover"]
+
+
+# ------------------------------------------------------- paxos commit
+
+
+def test_paxos_in_doubt_rebuilds_participant_with_acceptor_state():
+    records = with_lsns([
+        paxos_prepare_record("T1@a", "b", "a", ["a", "b", "c"],
+                             ["a", "b", "c"]),
+        paxos_acceptor_record("T1@a", "b", 0,
+                              [["b", 0, "yes"], ["c", 0, "yes"]],
+                              leader="a", sites=["a", "b", "c"],
+                              acceptors=["a", "b", "c"]),
+    ])
+    plan = analyze("b", records)
+    entry = plan.in_doubt[0]
+    assert entry.protocol == "paxos_commit"
+    assert entry.coordinator == "a"
+    assert entry.acceptors == ["a", "b", "c"]
+    assert entry.prepared
+    machines = build_machines(plan, "b")
+    assert len(machines) == 1
+    machine, effects = machines[0]
+    assert type(machine).__name__ == "PcParticipant"
+    assert machine.vote is not None                 # prepared: re-votes
+    assert machine.acceptor.accepted["c"] == (0, "yes")
+    assert effects                                  # resume_inquiry
+
+
+def test_paxos_acceptor_record_alone_rebuilds_silent_acceptor():
+    """No prepare record: the RM never voted (or voted read-only), and
+    recovery must not invent a vote — ballot-0 proposer uniqueness.
+    The rebuilt participant owes acceptor duties only."""
+    records = with_lsns([
+        paxos_acceptor_record("T1@a", "c", 4, [["b", 0, "yes"]],
+                              leader="a", sites=["a", "b", "c"],
+                              acceptors=["a", "b", "c"]),
+    ])
+    plan = analyze("c", records)
+    entry = plan.in_doubt[0]
+    assert entry.protocol == "paxos_commit"
+    assert not entry.prepared
+    machines = build_machines(plan, "c")
+    machine, _ = machines[0]
+    assert type(machine).__name__ == "PcParticipant"
+    assert machine.vote is None
+    assert machine.acceptor.promised == 4
+
+
+def test_paxos_decision_without_end_rebuilds_notifying_leader():
+    records = with_lsns([
+        paxos_decision_record("T1@a", "a", ["b", "c"], ["a", "b", "c"]),
+    ])
+    plan = analyze("a", records)
+    assert plan.tombstones == {"T1@a": Outcome.COMMITTED}
+    unacked = plan.unacked_commits[0]
+    assert unacked.protocol == "paxos_commit"
+    assert unacked.acceptors == ["a", "b", "c"]
+    machines = build_machines(plan, "a")
+    machine, effects = machines[0]
+    assert type(machine).__name__ == "PcLeader"
+    assert sorted(machine.notify_targets) == ["b", "c"]
+    assert effects                                  # resume_notifications
+
+
+def test_paxos_end_record_closes_everything():
+    records = with_lsns([
+        paxos_prepare_record("T1@a", "b", "a", ["a", "b"], ["a"]),
+        commit_record("T1@a", "b"),
+        end_record("T1@a", "b"),
+    ])
+    plan = analyze("b", records)
+    assert plan.in_doubt == [] and plan.unacked_commits == []
 
 
 # -------------------------------------------------- crash + restart

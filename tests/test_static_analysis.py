@@ -10,6 +10,9 @@ from repro.analysis.static_analysis import (
     nonblocking_update_completion,
     nonblocking_update_critical,
     path_counts,
+    paxos_read_completion,
+    paxos_update_completion,
+    paxos_update_critical,
     twophase_read_completion,
     twophase_update_completion,
     twophase_update_critical,
@@ -67,12 +70,38 @@ def test_path_counts_table():
                                                     "datagrams": 3}
     assert path_counts("non_blocking", "write", 1) == {"log_forces": 4,
                                                        "datagrams": 5}
+    # Paxos Commit at F=0 degenerates to optimized 2PC exactly.
+    assert path_counts("paxos_commit", "write", 1) == \
+        path_counts("two_phase", "write", 1)
+    assert path_counts("paxos_commit", "read", 1) == \
+        path_counts("two_phase", "read", 1)
     assert path_counts("two_phase", "read", 1) == {"log_forces": 0,
                                                    "datagrams": 2}
     assert path_counts("non_blocking", "read", 0) == {"log_forces": 0,
                                                       "datagrams": 0}
     with pytest.raises(ValueError):
         path_counts("three_phase", "write", 1)
+
+
+def test_paxos_f0_static_equals_2pc():
+    """Gray & Lamport §4: with F=0, Paxos Commit is essentially 2PC —
+    the static completion formula must collapse to the same total."""
+    for n in (1, 2, 3):
+        assert paxos_update_completion(n).total == \
+            pytest.approx(twophase_update_completion(n).total)
+    assert paxos_read_completion(1).total == \
+        pytest.approx(twophase_read_completion(1).total)
+
+
+def test_paxos_premium_grows_with_faults_tolerated():
+    f0 = paxos_update_completion(2, faults_tolerated=0).total
+    f1 = paxos_update_completion(2, faults_tolerated=1).total
+    f2 = paxos_update_completion(2, faults_tolerated=2).total
+    assert f0 < f1 < f2
+    # The F=1 premium never exceeds the non-blocking protocol's cost.
+    assert f1 <= nonblocking_update_completion(2).total
+    assert (paxos_update_critical(2, faults_tolerated=1).total
+            > paxos_update_completion(2, faults_tolerated=1).total)
 
 
 def test_path_counts_unknown_op_raises():
