@@ -24,7 +24,18 @@ Layout choices (all from the paper's co-location optimizations):
   forced, and a leader aborts unilaterally only on an *explicit* NO
   vote.  A vote timeout never aborts unilaterally at F>=1 — the leader
   starts an election instead, because a candidate may already be
-  assembling a commit from durable ballot-0 acceptances.
+  assembling a commit from durable ballot-0 acceptances.  Once the
+  election is handed off, the candidate owns the retry loop and the
+  leader's vote timer stops.
+- Acceptor durability is batch-ordered: every ``PC_ACCEPT_FORCE`` is
+  queued with the tallies and replies that depend on it, FIFO.  The WAL
+  flushes prefixes (a force completing means every earlier record is
+  durable too), so when the k-th acceptor force lands the k-th batch —
+  and nothing queued after it — may act.  A vote from an acceptor site
+  is that acceptor's phase-2b for its own instance, so it must be
+  *durable there before the vote is sent*: YES rides the forced prepare
+  record, and READ_ONLY (which forces no prepare) rides a forced
+  acceptor record instead.
 
 Election (:class:`PcCandidate`): ballots are made unique per site by
 ``round * len(sites) + site_index + 1``; a nacked or timed-out round
@@ -173,6 +184,44 @@ class PaxosAcceptor:
                                      acceptors=self.acceptors)
 
 
+class _AcceptorBatching:
+    """Durability-batch queue shared by the machines embedding a
+    :class:`PaxosAcceptor` (leader and participant).
+
+    Replies — and, on the leader, own-instance tallies — that quote
+    acceptor state are queued in FIFO batches, each covered by one
+    ``ForceLog``; the k-th ``PC_ACCEPT_FORCE`` completion releases
+    exactly the k-th batch.  Sound because the WAL flushes prefixes and
+    the ForceLog is appended to the log in the same scheduler step that
+    queues the batch (no yielding effect ever precedes it in a
+    handler's effect list), so queue order equals LSN order and the
+    k-th completion proves the k-th record — plus everything queued
+    before it — durable.
+    """
+
+    _force_batches: List[Tuple[List[str], List[Tuple[str, ProtocolMessage]]]]
+
+    def _force_acceptor_state(self, record: LogRecord,
+                              own_instances: Sequence[str],
+                              replies: Sequence[Tuple[str, ProtocolMessage]]
+                              ) -> Effect:
+        """Queue a durability batch and return the ForceLog covering it."""
+        self._force_batches.append((list(own_instances), list(replies)))
+        return ForceLog(record, PC_ACCEPT_FORCE)
+
+    def _send_when_durable(self, dst: str,
+                           msg: ProtocolMessage) -> List[Effect]:
+        """Release a reply quoting in-memory acceptor state: send now if
+        that state is durable, else ride the newest in-flight batch —
+        its record snapshot already covers the state being quoted, so
+        once that force lands the reply can no longer be retracted by a
+        crash."""
+        if self._force_batches:
+            self._force_batches[-1][1].append((dst, msg))
+            return []
+        return [SendDatagram(dst, msg)]
+
+
 class PcLeaderState(Enum):
     INIT = "init"
     COLLECTING = "collecting"
@@ -182,7 +231,7 @@ class PcLeaderState(Enum):
     DONE = "done"
 
 
-class PcLeader:
+class PcLeader(_AcceptorBatching):
     """Ballot-0 leader: transaction coordinator plus co-located acceptor.
 
     Drives the prepare round, tallies ballot-0 acceptances per instance,
@@ -225,11 +274,10 @@ class PcLeader:
         # instance -> acceptor sites holding a durable ballot-0
         # acceptance.  # lint: bounded(per-txn machine, discarded whole)
         self.tally: Dict[str, Set[str]] = {}
-        # instances awaiting our own acceptor's force before tallying.
-        self._pending_own: List[str] = []  # lint: bounded(drained at PC_ACCEPT_FORCE)
-        # (dst, message) acceptor replies awaiting the same force.
-        # lint: bounded(per-txn machine, discarded whole)
-        self._pending_replies: List[Tuple[str, ProtocolMessage]] = []  # lint: bounded(drained at PC_ACCEPT_FORCE)
+        # FIFO batches of (instances to tally, replies to send) awaiting
+        # an acceptor-state force; batch k acts when the k-th
+        # PC_ACCEPT_FORCE lands (prefix-flush log).
+        self._force_batches: List[Tuple[List[str], List[Tuple[str, ProtocolMessage]]]] = []  # lint: bounded(drained at PC_ACCEPT_FORCE)
         self.outcome: Optional[Outcome] = None
         self.update_subs: List[str] = []
         self.notify_targets: List[str] = []
@@ -276,18 +324,20 @@ class PcLeader:
             return [ForceLog(paxos_prepare_record(
                 str(self.tid), self.site, self.site, self.sites,
                 self.acceptors), PC_PREPARE_FORCE)]
-        # READ_ONLY proposes no durable state of its own: the vote is
-        # the ballot-0 2a, acceptors make it durable.
-        self._note_acceptance(self.site, self.site, vote.value)
-        effects = self._broadcast_own_vote(vote)
-        effects += self._maybe_decide()
-        return effects
+        # READ_ONLY forces no prepare record, so the acceptor record is
+        # what makes our ballot-0 self-acceptance durable.  Until it
+        # lands we may neither tally ourselves nor broadcast the vote —
+        # remote acceptors count an acceptor-site vote as a durable
+        # phase-2b, and a crash-restart must never retract it.
+        self.acceptor.ballot0_accept(self.site, vote.value)
+        return [self._force_acceptor_state(
+            self.acceptor.record(self.tid), [self.site],
+            [(a, self._vote_message(vote)) for a in self.remote_acceptors])]
 
-    def _broadcast_own_vote(self, vote: Vote) -> List[Effect]:
-        return [SendDatagram(a, PcVote(
-            self.tid, self.site, vote=vote, leader=self.site,
-            sites=tuple(self.sites), acceptors=tuple(self.acceptors)))
-            for a in self.remote_acceptors]
+    def _vote_message(self, vote: Vote) -> PcVote:
+        return PcVote(self.tid, self.site, vote=vote, leader=self.site,
+                      sites=tuple(self.sites),
+                      acceptors=tuple(self.acceptors))
 
     # ----------------------------------------------------------- forces
 
@@ -305,15 +355,17 @@ class PcLeader:
             effects += self._maybe_decide()
             return effects
         if token == PC_ACCEPT_FORCE:
-            # Our embedded acceptor's state is durable: tally every
-            # acceptance that was waiting on it and flush the replies.
-            pending, self._pending_own = self._pending_own, []
-            for instance in pending:
+            # The oldest queued batch of acceptor state is durable:
+            # tally the acceptances that waited on it and flush its
+            # replies — later batches keep waiting for their own force.
+            if not self._force_batches:
+                return []
+            own, replies = self._force_batches.pop(0)
+            for instance in own:
                 ballot, value = self.acceptor.accepted.get(instance,
                                                            (-1, ""))
                 if ballot == 0:
                     self._note_acceptance(self.site, instance, value)
-            replies, self._pending_replies = self._pending_replies, []
             flushed: List[Effect] = [SendDatagram(dst, reply)
                                      for dst, reply in replies]
             flushed += self._maybe_decide()
@@ -359,14 +411,14 @@ class PcLeader:
             return self._maybe_decide()
         effects: List[Effect] = []
         # Co-location: a vote from an acceptor site is also that
-        # acceptor's phase-2b for its own instance (durable there
-        # before the vote was sent).
+        # acceptor's phase-2b for its own instance — durable there
+        # before the vote was sent (YES rides the forced prepare
+        # record, READ_ONLY rides a forced acceptor record).
         if msg.sender in self.acceptors:
             self._note_acceptance(msg.sender, msg.sender, msg.vote.value)
         if self.acceptor.ballot0_accept(msg.sender, msg.vote.value):
-            self._pending_own.append(msg.sender)
-            effects.append(ForceLog(self.acceptor.record(self.tid),
-                                    PC_ACCEPT_FORCE))
+            effects.append(self._force_acceptor_state(
+                self.acceptor.record(self.tid), [msg.sender], []))
         effects += self._maybe_decide()
         return effects
 
@@ -446,11 +498,14 @@ class PcLeader:
                 return self._abort()
             # F>=1: another candidate may hold durable acceptances; only
             # an election (which fills free instances with the abort
-            # value at a higher ballot) may decide.
+            # value at a higher ballot) may decide.  The candidate owns
+            # the retry loop from here — its election timer backs off
+            # and re-polls — so the vote timer is NOT re-armed: the
+            # leader stands by, still answering phase 1/2 as an
+            # acceptor and adopting the candidate's outcome.
             return [Trace("pc.election_needed",
                           {"tid": str(self.tid), "site": self.site}),
-                    StartTakeover(self.tid),
-                    StartTimer(PC_VOTE_TIMER, self.vote_timeout_ms)]
+                    StartTakeover(self.tid)]
         missing = [s for s in self.subordinates if not self._voted(s)]
         effects: List[Effect] = [SendDatagram(s, self._prepare_message())
                                  for s in missing]
@@ -608,7 +663,7 @@ class PcSubState(Enum):
     DONE = "done"
 
 
-class PcParticipant:
+class PcParticipant(_AcceptorBatching):
     """A resource manager under Paxos Commit, with the co-located
     acceptor when this site belongs to the acceptor set.
 
@@ -638,8 +693,9 @@ class PcParticipant:
         self.acceptor = PaxosAcceptor(
             site, leader=self.leader, sites=self.sites,
             acceptors=self.acceptors) if self.is_acceptor else None
-        # (dst, message) replies awaiting the acceptor-state force.
-        self._pending_replies: List[Tuple[str, ProtocolMessage]] = []  # lint: bounded(drained at PC_ACCEPT_FORCE)
+        # FIFO batches of (instances, replies) awaiting an acceptor-state
+        # force (instances unused here: participants tally nothing).
+        self._force_batches: List[Tuple[List[str], List[Tuple[str, ProtocolMessage]]]] = []  # lint: bounded(drained at PC_ACCEPT_FORCE)
         self._notifier: Optional[str] = None
         self._acked = False
 
@@ -666,16 +722,26 @@ class PcParticipant:
             return effects
         if vote is Vote.READ_ONLY:
             # Drop read locks now; stay only if we owe acceptor duties.
-            effects = self._vote_datagrams(vote)
-            effects.append(LocalCommit(self.tid))
             if self.acceptor is not None:
+                # An acceptor site's vote doubles as its durable
+                # ballot-0 phase-2b at the leader (co-location), and
+                # READ_ONLY forces no prepare record — so the
+                # self-acceptance must land in a forced acceptor record
+                # before the vote may go out.
                 self.acceptor.ballot0_accept(self.site, vote.value)
                 self.state = PcSubState.ACCEPTING
-                effects.append(StartTimer(PC_OUTCOME_TIMER,
-                                          self.protocol_timeout_ms))
-            else:
-                self.state = PcSubState.DONE
-                effects.append(Forget(self.tid))
+                return [LocalCommit(self.tid),
+                        self._force_acceptor_state(
+                            self.acceptor.record(self.tid), (),
+                            [(dst, self._vote_message(vote))
+                             for dst in self._vote_targets()]),
+                        StartTimer(PC_OUTCOME_TIMER,
+                                   self.protocol_timeout_ms)]
+            # Not an acceptor: the vote is the ballot-0 2a and the
+            # acceptors make it durable before the leader counts it.
+            self.state = PcSubState.DONE
+            effects = self._vote_datagrams(vote)
+            effects += [LocalCommit(self.tid), Forget(self.tid)]
             return effects
         self.state = PcSubState.FORCING_PREPARE
         return [ForceLog(paxos_prepare_record(
@@ -683,13 +749,13 @@ class PcParticipant:
             self.acceptors), PC_PREPARE_FORCE)]
 
     def _vote_datagrams(self, vote: Vote) -> List[Effect]:
-        targets = [a for a in self.acceptors if a != self.site]
-        if self.leader not in targets and self.leader != self.site:
-            targets.append(self.leader)
-        return [SendDatagram(dst, PcVote(
-            self.tid, self.site, vote=vote, leader=self.leader,
-            sites=tuple(self.sites), acceptors=tuple(self.acceptors)))
-            for dst in targets]
+        return [SendDatagram(dst, self._vote_message(vote))
+                for dst in self._vote_targets()]
+
+    def _vote_message(self, vote: Vote) -> PcVote:
+        return PcVote(self.tid, self.site, vote=vote, leader=self.leader,
+                      sites=tuple(self.sites),
+                      acceptors=tuple(self.acceptors))
 
     # ----------------------------------------------------------- forces
 
@@ -705,16 +771,19 @@ class PcParticipant:
             effects: List[Effect] = [SendDatagram(dst, PcVote(
                 self.tid, self.site, vote=Vote.YES, leader=self.leader,
                 sites=tuple(self.sites), acceptors=tuple(self.acceptors)))
-                for dst in self._yes_vote_targets()]
+                for dst in self._vote_targets()]
             effects.append(StartTimer(PC_OUTCOME_TIMER,
                                       self.protocol_timeout_ms))
             return effects
         if token == PC_ACCEPT_FORCE:
-            pending, self._pending_replies = self._pending_replies, []
-            return [SendDatagram(dst, reply) for dst, reply in pending]
+            # Oldest batch only: later batches wait for their own force.
+            if not self._force_batches:
+                return []
+            _, replies = self._force_batches.pop(0)
+            return [SendDatagram(dst, reply) for dst, reply in replies]
         return []
 
-    def _yes_vote_targets(self) -> List[str]:
+    def _vote_targets(self) -> List[str]:
         targets = [a for a in self.acceptors if a != self.site]
         if self.leader not in targets and self.leader != self.site:
             targets.append(self.leader)
@@ -766,9 +835,15 @@ class PcParticipant:
             return [SendDatagram(dst, PcVote(
                 self.tid, self.site, vote=self.vote, leader=self.leader,
                 sites=tuple(self.sites), acceptors=tuple(self.acceptors)))
-                for dst in self._yes_vote_targets()]
+                for dst in self._vote_targets()]
         if self.state is PcSubState.ACCEPTING and self.vote is not None:
-            return self._vote_datagrams(self.vote)
+            # A read-only acceptor's re-vote must not outrun the force
+            # that is making its ballot-0 self-acceptance durable.
+            effects: List[Effect] = []
+            for dst in self._vote_targets():
+                effects += self._send_when_durable(
+                    dst, self._vote_message(self.vote))
+            return effects
         return []
 
     def _on_acceptor_vote(self, msg: PcVote) -> List[Effect]:
@@ -780,13 +855,15 @@ class PcParticipant:
         reply = PcPhase2b(self.tid, self.site, ballot=0,
                           votes=((msg.sender, msg.vote.value),))
         if self.acceptor.ballot0_accept(msg.sender, msg.vote.value):
-            self._pending_replies.append((msg.leader or self.leader, reply))
-            return [ForceLog(self.acceptor.record(self.tid),
-                             PC_ACCEPT_FORCE)]
+            return [self._force_acceptor_state(
+                self.acceptor.record(self.tid), (),
+                [(msg.leader or self.leader, reply)])]
         if self.acceptor.accepted.get(msg.sender, (None, None))[1] \
                 == msg.vote.value:
-            # Duplicate of something already durable: resend the 2b.
-            return [SendDatagram(msg.leader or self.leader, reply)]
+            # Duplicate: resend the 2b — but only once the acceptance
+            # is durable, which the original copy's force may still be
+            # working on.
+            return self._send_when_durable(msg.leader or self.leader, reply)
         return []
 
     def _on_outcome(self, msg: PcOutcome) -> List[Effect]:
@@ -864,6 +941,13 @@ class PcParticipant:
             for instance, ballot, value in accepted:
                 sub.acceptor.accepted[str(instance)] = (int(ballot),
                                                         str(value))
+        if not prepared and sub.acceptor is not None:
+            # A durable ballot-0 self-acceptance with no prepare record
+            # is a READ_ONLY vote that was forced before it went out:
+            # restore it so retried prepares can be re-answered.
+            ballot0, value = sub.acceptor.accepted.get(site, (-1, ""))
+            if ballot0 == 0 and value == Vote.READ_ONLY.value:
+                sub.vote = Vote.READ_ONLY
         return sub
 
     def resume_inquiry(self) -> List[Effect]:
@@ -873,7 +957,7 @@ class PcParticipant:
             effects += [SendDatagram(dst, PcVote(
                 self.tid, self.site, vote=self.vote, leader=self.leader,
                 sites=tuple(self.sites), acceptors=tuple(self.acceptors)))
-                for dst in self._yes_vote_targets()]
+                for dst in self._vote_targets()]
         effects.append(StartTimer(PC_OUTCOME_TIMER,
                                   self.protocol_timeout_ms))
         return effects
@@ -1147,8 +1231,11 @@ class PcCandidate:
 #
 # The phase-1a/2a handling is identical for leaders and participants:
 # consult the embedded acceptor, force its state when it changed, reply
-# only after the force (the pending-reply queue), nack from durable
-# state without forcing.
+# only after the force (the batch queue), nack without forcing.  An
+# acceptor may never retract what a quorum might have counted, and with
+# the chaos duplication mode a second copy of a message can arrive while
+# the first copy's force is still in flight — so even "duplicate" replies
+# are released only once the state they quote is provably on the platter.
 
 
 def _acceptor_p1a(machine: Any, msg: PcP1a) -> List[Effect]:
@@ -1156,7 +1243,9 @@ def _acceptor_p1a(machine: Any, msg: PcP1a) -> List[Effect]:
     if acceptor is None:
         return []
     if msg.ballot < acceptor.promised:
-        # Nack from already-durable state: no force needed.
+        # Nack: safe to send from possibly-volatile state, because a
+        # nack is never counted toward any quorum — at worst a candidate
+        # jumps to a needlessly high ballot.
         return [SendDatagram(msg.sender, PcP1b(
             machine.tid, machine.site, ballot=msg.ballot,
             promised=acceptor.promised, accepted=acceptor.triples()))]
@@ -1165,10 +1254,11 @@ def _acceptor_p1a(machine: Any, msg: PcP1a) -> List[Effect]:
     reply = PcP1b(machine.tid, machine.site, ballot=msg.ballot,
                   promised=acceptor.promised, accepted=acceptor.triples())
     if raised:
-        machine._pending_replies.append((msg.sender, reply))
-        return [ForceLog(acceptor.record(machine.tid), PC_ACCEPT_FORCE)]
-    # Duplicate of a durable promise: resend.
-    return [SendDatagram(msg.sender, reply)]
+        return [machine._force_acceptor_state(
+            acceptor.record(machine.tid), (), [(msg.sender, reply)])]
+    # Duplicate of an earlier promise — which may still be riding an
+    # in-flight force, so the resend waits for durability too.
+    return machine._send_when_durable(msg.sender, reply)
 
 
 def _acceptor_p2a(machine: Any, msg: PcP2a) -> List[Effect]:
@@ -1184,6 +1274,6 @@ def _acceptor_p2a(machine: Any, msg: PcP2a) -> List[Effect]:
     reply = PcPhase2b(machine.tid, machine.site, ballot=msg.ballot,
                       votes=tuple(msg.values))
     if (acceptor.promised, acceptor.triples()) != before:
-        machine._pending_replies.append((msg.sender, reply))
-        return [ForceLog(acceptor.record(machine.tid), PC_ACCEPT_FORCE)]
-    return [SendDatagram(msg.sender, reply)]
+        return [machine._force_acceptor_state(
+            acceptor.record(machine.tid), (), [(msg.sender, reply)])]
+    return machine._send_when_durable(msg.sender, reply)

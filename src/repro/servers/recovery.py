@@ -28,7 +28,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.nonblocking import NbSubordinate, NbSubState, NbTakeover
 from repro.core.outcomes import Outcome, Vote
-from repro.core.paxoscommit import PcLeader, PcParticipant
+from repro.core.paxoscommit import PcCandidate, PcLeader, PcParticipant
 from repro.core.quorum import QuorumSpec
 from repro.core.tid import TID
 from repro.core.twophase import TwoPhaseCoordinator, TwoPhaseSubordinate
@@ -308,13 +308,23 @@ def build_machines(plan: RecoveryPlan, site: str,
                 ack_timeout_ms=protocol_timeout_ms)
             out.append((coord, coord.resume_notifications()))
         elif entry.protocol == "paxos_commit":
-            # Works for a crashed leader and a crashed winning candidate
-            # alike: the decision is durable, only notifications remain.
-            leader = PcLeader.recovered(
-                entry.tid, site,
-                [s for s in entry.pending_subordinates if s != site],
-                entry.acceptors, notify_timeout_ms=protocol_timeout_ms)
-            out.append((leader, leader.resume_notifications()))
+            # The decision is durable, only notifications remain.  A
+            # crashed leader resumes as a leader; a crashed *winning
+            # candidate* at a non-acceptor site may not wear the leader
+            # hat (leaders must belong to the acceptor set), so it
+            # resumes its notify phase as a candidate instead.
+            subs = [s for s in entry.pending_subordinates if s != site]
+            if site in entry.acceptors:
+                leader = PcLeader.recovered(
+                    entry.tid, site, subs, entry.acceptors,
+                    notify_timeout_ms=protocol_timeout_ms)
+                out.append((leader, leader.resume_notifications()))
+            else:
+                cand = PcCandidate.resume_decision(
+                    entry.tid, site, subs, entry.acceptors,
+                    sites=[site] + subs,
+                    notify_timeout_ms=protocol_timeout_ms)
+                out.append((cand, cand.start()))
         else:
             sites = [site] + [s for s in entry.pending_subordinates]
             takeover = NbTakeover(entry.tid, site, sites,

@@ -220,7 +220,9 @@ def test_f1_vote_timeout_starts_election_not_unilateral_abort():
     # ballot-0 acceptances; only an election may decide.
     assert host.takeover_requests == [TID1]
     assert host.completions == []
-    assert PC_VOTE_TIMER in host.timers                  # re-armed
+    # The election owns the retry loop now: re-arming the vote timer
+    # would emit StartTakeover on every firing forever.
+    assert PC_VOTE_TIMER not in host.timers
 
 
 def test_f1_participant_acceptor_forces_before_phase2b_reply():
@@ -359,6 +361,121 @@ def test_stale_lower_ballot_p1a_nacked_from_durable_state():
     assert len(host.forced) == forces
     nack = host.sent[-1][1]
     assert nack.promised == 6
+
+
+# --------------------------------- review regressions: durability races
+
+
+def test_ro_acceptor_participant_forces_before_voting():
+    """An acceptor site's READ_ONLY vote doubles as its durable ballot-0
+    phase-2b at the leader, but forces no prepare record — so the
+    acceptor record must land before the vote may go out."""
+    host = MachineHost(PcParticipant(TID1, "b", "a", SITES3, SITES3,
+                                     Q3)).start()
+    host.local_prepared(Vote.READ_ONLY)
+    assert host.local_commits == [TID1]              # read locks dropped
+    assert host.pending_forces == [PC_ACCEPT_FORCE]
+    assert host.sent == []                           # vote held
+    assert host.machine.state is PcSubState.ACCEPTING
+    host.complete_force(PC_ACCEPT_FORCE)
+    votes = [(d, m) for d, m in host.sent if isinstance(m, PcVote)]
+    assert sorted(d for d, _ in votes) == ["a", "c"]
+    assert all(m.vote is Vote.READ_ONLY for _, m in votes)
+
+
+def test_ro_acceptor_revote_waits_for_the_inflight_force():
+    host = MachineHost(PcParticipant(TID1, "b", "a", SITES3, SITES3,
+                                     Q3)).start()
+    host.local_prepared(Vote.READ_ONLY)
+    host.deliver(PcPrepare(TID1, "a", sites=tuple(SITES3),
+                           acceptors=tuple(SITES3)))
+    assert host.sent == []           # re-vote rides the pending force too
+    host.complete_force(PC_ACCEPT_FORCE)
+    votes = [m for _, m in host.sent if isinstance(m, PcVote)]
+    assert len(votes) == 4                    # 2 originals + 2 re-votes
+
+
+def test_ro_leader_forces_before_tallying_own_instance():
+    """The leader's own READ_ONLY vote is its acceptor's ballot-0
+    phase-2b: it may neither count toward the instance quorum nor fan
+    out to remote acceptors until the acceptor record is durable —
+    otherwise a crash-restart could retract a counted acceptance and a
+    later candidate could choose abort after commit was decided."""
+    host = f1_leader()
+    host.local_prepared(Vote.READ_ONLY)
+    assert host.pending_forces == [PC_ACCEPT_FORCE]
+    assert host.sent_kinds() == ["PcPrepare", "PcPrepare"]   # no votes yet
+    assert host.machine.tally == {}                          # no phantom
+    host.complete_force(PC_ACCEPT_FORCE)
+    votes = [d for d, m in host.sent if isinstance(m, PcVote)]
+    assert sorted(votes) == ["b", "c"]
+    assert host.machine.tally == {"a": {"a"}}
+
+
+def test_duplicate_p1a_during_inflight_force_defers_reply():
+    """With the duplication fault a second P1a can arrive while the
+    first copy's PC_ACCEPT_FORCE is still in flight; replying from
+    in-memory state would hand a candidate a promise a crash can still
+    retract, breaking quorum intersection."""
+    host = MachineHost(PcParticipant(TID1, "b", "a", SITES3, SITES3,
+                                     Q3)).start()
+    host.local_prepared(Vote.YES)
+    host.complete_force(PC_PREPARE_FORCE)
+    host.sent.clear()
+    p1a = PcP1a(TID1, "c", ballot=6, leader="c",
+                sites=tuple(SITES3), acceptors=tuple(SITES3))
+    host.deliver(p1a)
+    host.deliver(p1a)              # duplicate while the force is pending
+    assert host.sent == []                        # both replies held
+    assert host.pending_forces == [PC_ACCEPT_FORCE]   # and just one force
+    host.complete_force(PC_ACCEPT_FORCE)
+    replies = [m for _, m in host.sent if hasattr(m, "promised")]
+    assert len(replies) == 2 and all(r.promised == 6 for r in replies)
+
+
+def test_duplicate_vote_during_inflight_force_defers_2b_resend():
+    host = MachineHost(PcParticipant(TID1, "b", "a", SITES3, SITES3,
+                                     Q3)).start()
+    host.local_prepared(Vote.YES)
+    host.complete_force(PC_PREPARE_FORCE)
+    host.sent.clear()
+    host.deliver(vote_from("c", acceptors=SITES3, sites=SITES3))
+    host.deliver(vote_from("c", acceptors=SITES3, sites=SITES3))
+    assert host.sent == []                        # resend held as well
+    host.complete_force(PC_ACCEPT_FORCE)
+    replies = [m for _, m in host.sent if isinstance(m, PcPhase2b)]
+    assert len(replies) == 2
+
+
+def test_interleaved_forces_release_batches_in_order():
+    """Each durability batch is released by its *own* force completion:
+    an earlier force landing must not flush replies whose record is
+    still on its way to the platter."""
+    host = MachineHost(PcParticipant(TID1, "b", "a", SITES3, SITES3,
+                                     Q3)).start()
+    host.local_prepared(Vote.YES)
+    host.complete_force(PC_PREPARE_FORCE)
+    host.sent.clear()
+    host.deliver(vote_from("c", acceptors=SITES3, sites=SITES3))
+    host.deliver(PcP1a(TID1, "c", ballot=6, leader="c",
+                       sites=tuple(SITES3), acceptors=tuple(SITES3)))
+    assert host.pending_forces == [PC_ACCEPT_FORCE, PC_ACCEPT_FORCE]
+    host.complete_force(PC_ACCEPT_FORCE)
+    assert [type(m).__name__ for _, m in host.sent] == ["PcPhase2b"]
+    host.complete_force(PC_ACCEPT_FORCE)
+    assert [type(m).__name__ for _, m in host.sent] == ["PcPhase2b",
+                                                        "PcP1b"]
+
+
+def test_recovered_ro_acceptor_restores_durable_read_only_vote():
+    """prepared=False with a durable ballot-0 self-acceptance of
+    READ_ONLY is a forced read-only vote: restore it so retried
+    prepares can be re-answered (it cannot invent a YES)."""
+    sub = PcParticipant.recovered(
+        TID1, "b", "a", SITES3, SITES3, prepared=False,
+        accepted=[["b", 0, Vote.READ_ONLY.value]])
+    assert sub.state is PcSubState.ACCEPTING
+    assert sub.vote is Vote.READ_ONLY
 
 
 # ----------------------------------------------------------- misc safety

@@ -221,6 +221,25 @@ def test_paxos_decision_without_end_rebuilds_notifying_leader():
     assert effects                                  # resume_notifications
 
 
+def test_paxos_decision_at_non_acceptor_site_resumes_candidate():
+    """A winning candidate need not be an acceptor (with >= 4 sites the
+    acceptor set is the odd prefix): its forced decision record must
+    rebuild a notifying candidate, not a PcLeader — whose constructor
+    rejects a site outside the acceptor set and would crash recovery."""
+    records = with_lsns([
+        paxos_decision_record("T1@a", "d", ["a", "b"], ["a", "b", "c"]),
+    ])
+    plan = analyze("d", records)
+    unacked = plan.unacked_commits[0]
+    assert unacked.protocol == "paxos_commit"
+    machines = build_machines(plan, "d")
+    machine, effects = machines[0]
+    assert type(machine).__name__ == "PcCandidate"
+    assert machine.outcome is Outcome.COMMITTED
+    assert sorted(machine.notify_targets) == ["a", "b"]
+    assert effects                                  # notify phase resumes
+
+
 def test_paxos_end_record_closes_everything():
     records = with_lsns([
         paxos_prepare_record("T1@a", "b", "a", ["a", "b"], ["a"]),
