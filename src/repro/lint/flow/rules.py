@@ -16,6 +16,7 @@ from repro.lint.engine import LintContext
 from repro.lint.findings import Finding
 from repro.lint.flow import flow_program
 from repro.lint.flow import forcepath as _forcepath
+from repro.lint.flow import livefence as _livefence
 from repro.lint.flow import protograph as _protograph
 from repro.lint.flow import purity as _purity
 from repro.lint.flow import taint as _taint
@@ -41,6 +42,13 @@ def check_flow_sansio_purity(ctx: LintContext) -> List[Finding]:
       "dominated by a log force, quorum, or durable-state guard")
 def check_flow_force_discipline(ctx: LintContext) -> List[Finding]:
     return _forcepath.run(ctx, flow_program(ctx))
+
+
+@rule("live-io-fence",
+      "asyncio/socket/selectors/os.fsync may appear only under repro/live: "
+      "the live substrate owns real IO, everything else stays sans-IO")
+def check_live_io_fence(ctx: LintContext) -> List[Finding]:
+    return _livefence.run(ctx)
 
 
 @rule("flow-protocol-graph",

@@ -1,0 +1,176 @@
+"""Scripted scenarios and canonical transcripts for conformance runs.
+
+A :class:`Scenario` is a deterministic list of "site X begins commitment
+of a transaction over protocol P" steps plus the pacing knobs each
+substrate needs.  Both harnesses execute the same scenario object; the
+:class:`Transcript` each produces is canonicalized to per-site-pair FIFO
+message sequences and compared byte for byte.
+
+Why per-pair FIFO is the right canonical form: TCP (live) and the
+jitter-free LAN model (sim) both preserve order *within* a (src, dst)
+pair but neither promises a global interleaving across pairs, and the
+sans-IO machines only ever observe per-sender order.  Canonicalizing to
+the per-pair sequences compares exactly what the protocols can depend
+on and nothing the substrate is allowed to vary.
+
+Pacing: the conformance scenario zeroes the simulator's jitter and
+gives the live substrate artificial per-hop latency floors
+(``wire_ms``/``force_floor_ms``) large enough to dominate real fsync
+and event-loop noise, so the one genuinely timing-dependent ordering in
+the scenario (a Paxos acceptor hearing two RMs' votes) resolves the
+same way on both substrates.  DESIGN.md §11 spells out what this does
+and does not prove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import CostModel
+from repro.core.outcomes import TwoPhaseVariant, Vote
+from repro.live.codec import canonical_json, message_to_dict
+
+
+class Transcript:
+    """Every datagram a harness put on the wire, in send order."""
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[str, str, Any]] = []
+
+    def record(self, src: str, dst: str, message: Any) -> None:
+        self.entries.append((src, dst, message))  # lint: bounded(scenario-scale run)
+
+    def pair_sequences(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Per ``"src->dst"`` pair, the FIFO sequence of messages."""
+        pairs: Dict[str, List[Dict[str, Any]]] = {}
+        for src, dst, message in self.entries:
+            data = (message.data if isinstance(message, _Raw)
+                    else message_to_dict(message))
+            pairs.setdefault(f"{src}->{dst}", []).append(data)
+        return pairs
+
+    def canonical_bytes(self) -> bytes:
+        """The byte string conformance compares (sorted pairs, FIFO within)."""
+        return canonical_json(self.pair_sequences()).encode("utf-8")
+
+    def from_dicts(self, pairs: Dict[str, List[Dict[str, Any]]]) -> None:
+        """Load entries from a remote site's serialized pair sequences."""
+        for pair, messages in pairs.items():
+            src, dst = pair.split("->", 1)
+            for message in messages:
+                self.entries.append((src, dst, _Raw(message)))
+
+
+class _Raw:
+    """A message already in dict form (from a remote site's status)."""
+
+    def __init__(self, data: Dict[str, Any]):
+        self.data = data
+
+
+def merge_pair_sequences(per_site: Sequence[Dict[str, List[Dict[str, Any]]]]
+                         ) -> Dict[str, List[Dict[str, Any]]]:
+    """Combine per-site transcripts: each pair has exactly one sender, so
+    sequences never interleave across sources."""
+    merged: Dict[str, List[Dict[str, Any]]] = {}
+    for pairs in per_site:
+        for pair, messages in pairs.items():
+            merged.setdefault(pair, []).extend(messages)
+    return merged
+
+
+@dataclass
+class ScenarioStep:
+    at_ms: float                       # offset from scenario start
+    site: str                          # coordinator
+    protocol: str                      # "2pc" | "nb" | "paxos"
+    subordinates: Tuple[str, ...]
+    variant: TwoPhaseVariant = TwoPhaseVariant.OPTIMIZED
+
+
+@dataclass
+class Scenario:
+    sites: Tuple[str, ...]
+    steps: Tuple[ScenarioStep, ...]
+    cost: CostModel
+    horizon_ms: float                  # sim run length / live settle deadline
+    votes: Dict[str, Vote] = field(default_factory=dict)
+    # Simulated-substrate pacing.
+    sim_prepare_ms: float = 5.0
+    # Live-substrate pacing: artificial latency floors that dominate real
+    # IO jitter so races resolve as they do under the model.
+    live_wire_ms: float = 40.0
+    live_force_floor_ms: float = 20.0
+    live_prepare_ms: float = 10.0
+
+
+def conformance_cost() -> CostModel:
+    """The paper's cost model with every random term zeroed."""
+    return replace(CostModel(),
+                   datagram_jitter_base=0.0,
+                   datagram_jitter_per_load=0.0,
+                   datagram_send_jitter=0.0)
+
+
+def conformance_scenario() -> Scenario:
+    """One scripted commit per protocol family over a 3-site cluster.
+
+    Steps are spaced far enough apart that each transaction completes
+    (machines forgotten, acks flushed) before the next begins, on both
+    substrates; each family gets a different coordinator so all sites
+    exercise both roles.
+    """
+    sites = ("alpha", "beta", "gamma")
+    steps = (
+        ScenarioStep(0.0, "alpha", "2pc", ("beta", "gamma")),
+        ScenarioStep(1200.0, "beta", "nb", ("alpha", "gamma")),
+        ScenarioStep(2400.0, "gamma", "paxos", ("alpha", "beta")),
+    )
+    return Scenario(sites=sites, steps=steps, cost=conformance_cost(),
+                    horizon_ms=4000.0)
+
+
+def run_scenario_steps(scenario: Scenario, hosts: Dict[str, Any],
+                       at: Callable[[float, Callable[[], None]], Any]) -> None:
+    """Schedule each step's ``begin_commit`` via the harness's timer."""
+    for step in scenario.steps:
+        def fire(s: ScenarioStep = step) -> None:
+            hosts[s.site].begin_commit(s.protocol, list(s.subordinates),
+                                       variant=s.variant)
+        at(step.at_ms, fire)
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """Wire form for shipping a scenario to LiveSite processes."""
+    return {
+        "sites": list(scenario.sites),
+        "steps": [{"at_ms": s.at_ms, "site": s.site, "protocol": s.protocol,
+                   "subordinates": list(s.subordinates),
+                   "variant": s.variant.value} for s in scenario.steps],
+        "horizon_ms": scenario.horizon_ms,
+        "votes": {site: vote.value for site, vote in scenario.votes.items()},
+        "sim_prepare_ms": scenario.sim_prepare_ms,
+        "live_wire_ms": scenario.live_wire_ms,
+        "live_force_floor_ms": scenario.live_force_floor_ms,
+        "live_prepare_ms": scenario.live_prepare_ms,
+    }
+
+
+def scenario_from_dict(data: Dict[str, Any],
+                       cost: Optional[CostModel] = None) -> Scenario:
+    steps = tuple(
+        ScenarioStep(at_ms=float(s["at_ms"]), site=s["site"],
+                     protocol=s["protocol"],
+                     subordinates=tuple(s["subordinates"]),
+                     variant=TwoPhaseVariant(s.get("variant", "optimized")))
+        for s in data["steps"])
+    return Scenario(
+        sites=tuple(data["sites"]), steps=steps,
+        cost=cost if cost is not None else conformance_cost(),
+        horizon_ms=float(data["horizon_ms"]),
+        votes={site: Vote(v) for site, v in data.get("votes", {}).items()},
+        sim_prepare_ms=float(data.get("sim_prepare_ms", 5.0)),
+        live_wire_ms=float(data.get("live_wire_ms", 40.0)),
+        live_force_floor_ms=float(data.get("live_force_floor_ms", 20.0)),
+        live_prepare_ms=float(data.get("live_prepare_ms", 10.0)))

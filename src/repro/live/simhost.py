@@ -1,0 +1,182 @@
+"""The simulated substrate: :class:`SiteHost` over kernel + LAN model.
+
+This is the conformance baseline.  The same effect interpreter that the
+live harness uses runs here over the deterministic discrete-event
+kernel, the token-ring :class:`repro.net.lan.Lan`, and an in-memory WAL
+whose forces complete after the modelled ``log_force`` latency.  A
+scenario executed here produces the reference transcript that the live
+loopback run must match byte for byte.
+
+Jitter is zeroed for conformance runs (see
+:func:`repro.live.scenario.conformance_cost`): the point of the
+comparison is protocol-transcript equality, and random per-message
+jitter would make the *simulated* ordering the arbitrary one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.config import CostModel
+from repro.core.outcomes import Vote
+from repro.log.records import LogRecord
+from repro.net.lan import Lan
+from repro.sim.kernel import Kernel, Timer
+from repro.sim.rng import RngStreams
+from repro.sim.tracing import NullTracer
+from repro.live.host import SiteHost, Substrate
+from repro.live.scenario import Scenario, Transcript, run_scenario_steps
+
+
+class MemoryWal:
+    """The simulator-side WAL: FileWal's contract without the file."""
+
+    def __init__(self) -> None:
+        self.records: List[LogRecord] = []
+        self._next_lsn = 1
+        self._durable_lsn = 0
+        self._watches: List[Tuple[int, Callable[[], None]]] = []
+
+    @property
+    def durable_lsn(self) -> int:
+        return self._durable_lsn
+
+    @property
+    def last_lsn(self) -> int:
+        return self._next_lsn - 1
+
+    def append(self, record: LogRecord) -> LogRecord:
+        record.lsn = self._next_lsn
+        self._next_lsn += 1
+        self.records.append(record)  # lint: bounded(scenario-scale run)
+        return record
+
+    def force(self, lsn: Optional[int] = None) -> List[Callable[[], None]]:
+        target = self.last_lsn if lsn is None else lsn
+        if target > self._durable_lsn:
+            self._durable_lsn = target
+        ready = [fn for watch_lsn, fn in self._watches
+                 if watch_lsn <= self._durable_lsn]
+        self._watches = [(watch_lsn, fn) for watch_lsn, fn in self._watches
+                         if watch_lsn > self._durable_lsn]
+        return ready
+
+    def watch_durable(self, lsn: int, fn: Callable[[], None]) -> None:
+        if lsn <= self._durable_lsn:
+            fn()
+            return
+        self._watches.append((lsn, fn))
+
+
+class SimSubstrate(Substrate):
+    """Substrate implementation over the discrete-event kernel."""
+
+    def __init__(self, site: str, kernel: Kernel, lan: Lan, cost: CostModel,
+                 transcript: Transcript):
+        self.site = site
+        self.kernel = kernel
+        self.lan = lan
+        self.cost = cost
+        self.transcript = transcript
+        self.wal = MemoryWal()
+        self.host: Optional[SiteHost] = None  # wired by build_sim_cluster
+        self.peers: Dict[str, "SimSubstrate"] = {}
+        self.traces: List[Tuple[str, Dict[str, Any]]] = []
+        self.alive = True  # Lan liveness probe
+
+    # ----------------------------------------------------------- wire
+
+    def send(self, dst: str, message: Any) -> None:
+        self.transcript.record(self.site, dst, message)
+        if dst == self.site:
+            # Self-delivery loops back off the wire, like the
+            # DatagramService's post_soon loopback.
+            self.kernel.post_soon(self._deliver_self, message)
+            return
+        peer = self.peers[dst]
+        self.lan.unicast(self.site, dst, message,
+                         lambda payload: peer.host.deliver(self.site, payload)
+                         if peer.host is not None else None)
+
+    def _deliver_self(self, message: Any) -> None:
+        if self.host is not None:
+            self.host.deliver(self.site, message)
+
+    # ------------------------------------------------------------ wal
+
+    def append(self, record: LogRecord) -> int:
+        lsn = self.wal.append(record).lsn
+        assert lsn is not None
+        return lsn
+
+    def force(self, lsn: int, done: Callable[[], None]) -> None:
+        self.kernel.post(self.cost.log_force, self._force_done, lsn, done)
+
+    def _force_done(self, lsn: int, done: Callable[[], None]) -> None:
+        for fn in self.wal.force(lsn):
+            fn()
+        done()
+
+    def force_tail(self) -> None:
+        if self.wal.last_lsn <= self.wal.durable_lsn:
+            return
+        lsn = self.wal.last_lsn
+        self.kernel.post(self.cost.log_force, self._tail_done, lsn)
+
+    def _tail_done(self, lsn: int) -> None:
+        for fn in self.wal.force(lsn):
+            fn()
+
+    def watch_durable(self, lsn: int, fn: Callable[[], None]) -> None:
+        self.wal.watch_durable(lsn, fn)
+
+    # ---------------------------------------------------------- timers
+
+    def start_timer(self, delay_ms: float, fn: Callable[[], None]) -> Timer:
+        return self.kernel.schedule(delay_ms, fn)
+
+    def cancel_timer(self, handle: Any) -> None:
+        handle.cancel()
+
+    def trace(self, kind: str, detail: Dict[str, Any]) -> None:
+        self.traces.append((kind, detail))  # lint: bounded(scenario-scale run)
+
+
+def build_sim_cluster(sites: List[str], cost: CostModel,
+                      votes: Optional[Dict[str, Vote]] = None,
+                      prepare_ms: float = 5.0
+                      ) -> Tuple[Kernel, Dict[str, SiteHost], Transcript]:
+    """A kernel, one wired SiteHost per site, and the shared transcript."""
+    kernel = Kernel()
+    lan = Lan(kernel, cost, RngStreams(0), NullTracer())
+    transcript = Transcript()
+    substrates: Dict[str, SimSubstrate] = {}
+    hosts: Dict[str, SiteHost] = {}
+    for site in sites:
+        sub = SimSubstrate(site, kernel, lan, cost, transcript)
+        lan.register_site(site, sub)
+        substrates[site] = sub
+    for site, sub in substrates.items():
+        sub.peers = substrates
+        host = SiteHost(site, sub, cost, votes=votes,
+                        prepare_delay_ms=prepare_ms)
+        sub.host = host
+        hosts[site] = host
+    return kernel, hosts, transcript
+
+
+def run_sim_scenario(scenario: Scenario) -> Transcript:
+    """Execute the scenario on the simulated substrate; return transcript."""
+    cost = scenario.cost
+    kernel, hosts, transcript = build_sim_cluster(
+        list(scenario.sites), cost, votes=scenario.votes,
+        prepare_ms=scenario.sim_prepare_ms)
+    for host in hosts.values():
+        host.start_sweeps()
+    run_scenario_steps(
+        scenario, hosts,
+        at=lambda delay_ms, fn: kernel.schedule(delay_ms, fn))
+    kernel.run(until=scenario.horizon_ms)
+    for host in hosts.values():
+        host.stop_sweeps()
+    return transcript

@@ -1,0 +1,107 @@
+"""The capstone: one scripted scenario, two substrates, byte-identical
+transcripts for all three protocol families.
+
+``run_conformance`` executes the scenario under the simulated LAN
+(deterministic kernel, jitter-free cost model) and under live loopback
+TCP (real sockets, real frame codec, real fsync-backed WALs) with the
+shared :class:`repro.live.host.SiteHost` interpreting effects on both
+sides, then compares the canonicalized per-site-pair transcripts as
+bytes.  These tests assert the equality itself plus the properties that
+make it meaningful: all three families actually appear on the wire, and
+the live run really did go through TCP and on-disk WALs."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.outcomes import Vote
+from repro.live.conformance import run_conformance, run_live_scenario
+from repro.live.scenario import (
+    Scenario,
+    ScenarioStep,
+    conformance_cost,
+    conformance_scenario,
+)
+from repro.live.simhost import run_sim_scenario
+from repro.live.walfile import read_records
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    """One full conformance run shared by the assertions below (the live
+    half costs a few wall-clock seconds)."""
+    run_dir = tmp_path_factory.mktemp("conformance")
+    return run_conformance(str(run_dir), fsync=True)
+
+
+class TestByteIdentical:
+    def test_transcripts_match(self, report):
+        assert report.match, report.summary()
+        assert report.sim_bytes == report.live_bytes
+        assert len(report.sim_bytes) > 1000  # a real transcript, not []
+
+    def test_all_three_families_on_the_wire(self, report):
+        kinds = {m["type"] for msgs in report.sim_pairs.values()
+                 for m in msgs}
+        assert "PrepareRequest" in kinds        # 2PC
+        assert "NbPrepare" in kinds             # non-blocking quorum
+        assert "PcPrepare" in kinds and "PcPhase2b" in kinds  # Paxos
+        # And the live wire carried the same vocabulary, by equality.
+        assert report.sim_pairs == report.live_pairs
+
+    def test_canonical_form_is_per_pair_fifo(self, report):
+        decoded = json.loads(report.sim_bytes)
+        assert set(decoded) == set(report.sim_pairs)
+        for pair, msgs in decoded.items():
+            src, dst = pair.split("->")
+            assert src != dst  # self-delivery never crosses the wire
+            assert all(m["type"] for m in msgs)
+
+    def test_every_transaction_committed_live(self, report):
+        for site, completions in report.live_completions.items():
+            for tid, outcome in completions.items():
+                assert outcome == "committed", (site, tid, outcome)
+
+
+class TestSimDeterminism:
+    def test_sim_half_is_bit_stable(self):
+        s = conformance_scenario()
+        assert run_sim_scenario(s).canonical_bytes() == \
+            run_sim_scenario(s).canonical_bytes()
+
+
+class TestLiveSubstrateWasReal:
+    def test_live_wals_hit_disk(self, report, tmp_path_factory):
+        """Not a mock: each live site left a readable WAL with the
+        protocol's records in it."""
+        # The module fixture used its own dir; run a tiny live-only
+        # scenario here so we can inspect the files it leaves.
+        run_dir = tmp_path_factory.mktemp("wals")
+        scenario = Scenario(
+            sites=("alpha", "beta"),
+            steps=(ScenarioStep(0.0, "alpha", "2pc", ("beta",)),),
+            cost=conformance_cost(), horizon_ms=1500.0)
+        asyncio.run(run_live_scenario(scenario, str(run_dir)))
+        alpha = read_records(str(run_dir / "alpha.wal"))
+        beta = read_records(str(run_dir / "beta.wal"))
+        assert any(r.kind.name == "COORD_COMMIT" for r in alpha)
+        assert any(r.kind.name == "PREPARE" for r in beta)
+
+
+class TestDivergenceIsDetected:
+    def test_vote_change_breaks_equality(self, tmp_path):
+        """Sanity check on the oracle itself: a scenario whose live half
+        votes differently than the sim half must NOT conform — byte
+        equality is falsifiable, not vacuous."""
+        scenario = Scenario(
+            sites=("alpha", "beta"),
+            steps=(ScenarioStep(0.0, "alpha", "2pc", ("beta",)),),
+            cost=conformance_cost(), horizon_ms=1500.0)
+        sim_bytes = run_sim_scenario(scenario).canonical_bytes()
+        scenario_no = Scenario(
+            sites=scenario.sites, steps=scenario.steps,
+            cost=scenario.cost, horizon_ms=scenario.horizon_ms,
+            votes={"beta": Vote.NO})
+        live = asyncio.run(run_live_scenario(scenario_no, str(tmp_path)))
+        assert live.live_bytes != sim_bytes

@@ -1,0 +1,169 @@
+"""repro.live.walfile: the on-disk WAL keeps the simulator WAL's
+contract — LSN-ordered appends, prefix forces, durability watches —
+while surviving what real files suffer: torn tails, truncated headers,
+kill -9 between append and force.  Recovery reads it with the same
+:func:`repro.servers.recovery.analyze` discriminators the simulator
+uses, which is the property the live kill-9 demos stand on."""
+
+import os
+
+from repro.core.outcomes import Outcome
+from repro.log.records import (
+    RecordKind,
+    commit_record,
+    end_record,
+    prepare_record,
+)
+from repro.live.walfile import FileWal, read_records
+from repro.servers.recovery import analyze
+
+
+def _wal(tmp_path, name="site.wal", fsync=False):
+    return FileWal(str(tmp_path / name), fsync=fsync)
+
+
+class TestAppendForce:
+    def test_append_assigns_dense_lsns(self, tmp_path):
+        wal = _wal(tmp_path)
+        r1 = wal.append(prepare_record("T1@a", "b", coordinator="a"))
+        r2 = wal.append(commit_record("T1@a", "a"))
+        assert (r1.lsn, r2.lsn) == (1, 2)
+        assert wal.durable_lsn == 0
+        wal.close()
+
+    def test_force_is_prefix_durable(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.append(prepare_record("T1@a", "b", coordinator="a"))
+        wal.append(commit_record("T1@a", "a"))
+        wal.force(1)
+        assert wal.durable_lsn == 1
+        # Reader (recovery's view) sees exactly the durable prefix.
+        assert [r.kind for r in read_records(wal.path)] == \
+            [RecordKind.PREPARE]
+        wal.force(None)
+        assert wal.durable_lsn == 2
+        assert len(read_records(wal.path)) == 2
+        wal.close()
+
+    def test_watch_fires_on_covering_force_only(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.append(prepare_record("T1@a", "b", coordinator="a"))
+        wal.append(commit_record("T1@a", "a"))
+        fired = []
+        wal.watch_durable(2, lambda: fired.append("2"))
+        ready = wal.force(1)
+        assert ready == [] and fired == []
+        ready = wal.force(2)
+        assert len(ready) == 1
+        ready[0]()
+        assert fired == ["2"]
+        wal.close()
+
+    def test_watch_on_already_durable_fires_immediately(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.append(commit_record("T1@a", "a"))
+        wal.force(None)
+        fired = []
+        wal.watch_durable(1, lambda: fired.append("now"))
+        assert fired == ["now"]
+        wal.close()
+
+    def test_fsync_true_actually_fsyncs(self, tmp_path):
+        # Functional floor: records are on disk after force even if the
+        # process is about to die (we can only assert readability here).
+        wal = _wal(tmp_path, fsync=True)
+        wal.append(commit_record("T9@a", "a"))
+        wal.force(None)
+        assert [r.tid for r in read_records(wal.path)] == ["T9@a"]
+        wal.close()
+
+
+class TestReopenAndTornTails:
+    def test_reopen_renumbers_densely_and_appends_after(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.append(prepare_record("T1@a", "b", coordinator="a"))
+        wal.append(commit_record("T1@a", "a"))
+        wal.force(None)
+        wal.close()
+        wal2 = _wal(tmp_path)
+        assert [r.lsn for r in wal2.recovered_records] == [1, 2]
+        r3 = wal2.append(end_record("T1@a", "a"))
+        assert r3.lsn == 3
+        wal2.force(None)
+        assert len(read_records(wal2.path)) == 3
+        wal2.close()
+
+    def test_unforced_suffix_is_lost_on_crash(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.append(prepare_record("T1@a", "b", coordinator="a"))
+        wal.force(None)
+        wal.append(commit_record("T1@a", "a"))  # never forced
+        wal.close()  # "kill -9": volatile tail discarded
+        wal2 = _wal(tmp_path)
+        assert [r.kind for r in wal2.recovered_records] == \
+            [RecordKind.PREPARE]
+        wal2.close()
+
+    def test_torn_tail_truncated_at_reopen(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.append(prepare_record("T1@a", "b", coordinator="a"))
+        wal.append(commit_record("T1@a", "a"))
+        wal.force(None)
+        wal.close()
+        # Crash mid-write of the *last* record: chop bytes off the tail.
+        path = str(tmp_path / "site.wal")
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-7])
+        wal2 = _wal(tmp_path)
+        assert [r.kind for r in wal2.recovered_records] == \
+            [RecordKind.PREPARE]
+        # New appends land cleanly after the valid prefix.
+        wal2.append(commit_record("T1@a", "a"))
+        wal2.force(None)
+        assert [r.kind for r in read_records(path)] == \
+            [RecordKind.PREPARE, RecordKind.COMMIT]
+        wal2.close()
+
+    def test_corrupt_payload_stops_the_scan(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.append(prepare_record("T1@a", "b", coordinator="a"))
+        wal.append(commit_record("T1@a", "a"))
+        wal.force(None)
+        wal.close()
+        path = str(tmp_path / "site.wal")
+        data = bytearray(open(path, "rb").read())
+        data[-3] ^= 0xFF  # flip a bit inside the last record's payload
+        open(path, "wb").write(bytes(data))
+        assert [r.kind for r in read_records(path)] == [RecordKind.PREPARE]
+
+    def test_mangled_header_means_empty_wal(self, tmp_path):
+        path = str(tmp_path / "site.wal")
+        open(path, "wb").write(b"not a wal at all")
+        wal = _wal(tmp_path)
+        assert wal.recovered_records == []
+        wal.append(commit_record("T1@a", "a"))
+        wal.force(None)
+        assert [r.tid for r in read_records(path)] == ["T1@a"]
+        wal.close()
+
+    def test_missing_file_starts_fresh(self, tmp_path):
+        wal = _wal(tmp_path, name="new.wal")
+        assert wal.recovered_records == []
+        assert os.path.getsize(wal.path) > 0  # header written eagerly
+        wal.close()
+
+
+class TestRecoveryIntegration:
+    def test_analyze_reads_a_real_wal(self, tmp_path):
+        """The same discriminators that drive simulator recovery classify
+        a real on-disk WAL: forced prepare with no outcome -> in doubt."""
+        wal = _wal(tmp_path)
+        wal.append(prepare_record("T1@coord", "me", coordinator="coord"))
+        wal.force(None)
+        wal.append(commit_record("T2@coord", "me"))
+        wal.force(None)
+        wal.close()
+        plan = analyze("me", read_records(str(tmp_path / "site.wal")))
+        assert [str(e.tid) for e in plan.in_doubt] == ["T1@coord"]
+        assert plan.in_doubt[0].protocol == "two_phase"
+        assert plan.tombstones["T2@coord"] is Outcome.COMMITTED
